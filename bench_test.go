@@ -1,0 +1,318 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hypergraph"
+	"repro/internal/mip"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/sched/bipart"
+	"repro/internal/sched/ipsched"
+	"repro/internal/simplex"
+	"repro/internal/workload"
+)
+
+// The paper-figure benchmarks run the experiment harness in quick mode
+// (workloads ~10× smaller, IP budgets in seconds) so the whole suite
+// regenerates every figure's shape in minutes. `go run ./cmd/paperfigs`
+// produces the full-scale numbers recorded in EXPERIMENTS.md.
+
+func quickOpts() experiments.Options {
+	return experiments.Options{Quick: true, Seed: 1, IPBudget: 2 * time.Second}
+}
+
+func benchFigure(b *testing.B, f func(experiments.Options) ([]*report.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := f(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (IMAGE, OSUMED+XIO storage,
+// three overlap classes, four schedulers).
+func BenchmarkFig3(b *testing.B) { benchFigure(b, experiments.Fig3) }
+
+// BenchmarkFig4 regenerates Figure 4 (SAT, OSUMED+XIO storage).
+func BenchmarkFig4(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig5a regenerates Figure 5(a) (replication vs none).
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, experiments.Fig5a) }
+
+// BenchmarkFig5b regenerates Figure 5(b) (batch-size sweep under disk
+// pressure).
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, experiments.Fig5b) }
+
+// BenchmarkFig6 regenerates Figure 6(a) and 6(b) (compute-node sweep:
+// batch time and per-task scheduling overhead).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// --- Ablation benches (DESIGN.md §5) ---------------------------------
+
+func ablationProblem(b *testing.B, tasks int, diskFrac float64) *core.Problem {
+	b.Helper()
+	bt, err := workload.Image(workload.ImageConfig{NumTasks: tasks, Overlap: workload.HighOverlap, NumStorage: 4, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var disk int64
+	if diskFrac > 0 {
+		disk = int64(float64(bt.TotalUniqueBytes(nil)) * diskFrac / 4)
+	}
+	p := &core.Problem{Batch: bt, Platform: platform.XIO(4, 4, disk)}
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func runScheduler(b *testing.B, p *core.Problem, s core.Scheduler, metric string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(p, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Makespan
+	}
+	b.ReportMetric(last, metric)
+}
+
+// BenchmarkAblationIPFormulation compares the aggregated linking rows
+// against the strong per-(i,j,ℓ) rows on the same sub-batch.
+func BenchmarkAblationIPFormulation(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		strong bool
+	}{{"aggregated", false}, {"strong", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := ablationProblem(b, 12, 0)
+			ip := ipsched.New(9)
+			ip.Strong = mode.strong
+			ip.AllocBudget = 2 * time.Second
+			runScheduler(b, p, ip, "makespan_s")
+		})
+	}
+}
+
+// BenchmarkAblationSubBatch compares BINW first-level sub-batch
+// selection against a greedy knapsack under disk pressure.
+func BenchmarkAblationSubBatch(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		greedy bool
+	}{{"binw", false}, {"greedy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := ablationProblem(b, 300, 0.35)
+			s := bipart.New(4)
+			s.GreedySubBatch = mode.greedy
+			runScheduler(b, p, s, "makespan_s")
+		})
+	}
+}
+
+// BenchmarkAblationVertexWeights compares the Eq. 25–26 probabilistic
+// vertex weights against plain compute weights in the second-level
+// partition.
+func BenchmarkAblationVertexWeights(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		compute bool
+	}{{"probabilistic", false}, {"compute-only", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := ablationProblem(b, 200, 0)
+			s := bipart.New(4)
+			s.UseComputeWeightsOnly = mode.compute
+			runScheduler(b, p, s, "makespan_s")
+		})
+	}
+}
+
+// BenchmarkAblationEviction compares popularity eviction against LRU
+// for the BiPartition scheduler under disk pressure.
+func BenchmarkAblationEviction(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		lru  bool
+	}{{"popularity", false}, {"lru", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := ablationProblem(b, 300, 0.35)
+			s := bipart.New(4)
+			s.UseLRU = mode.lru
+			runScheduler(b, p, s, "makespan_s")
+		})
+	}
+}
+
+// BenchmarkAblationRefinement compares the multilevel partitioner with
+// and without FM refinement on the second-level mapping hypergraph.
+func BenchmarkAblationRefinement(b *testing.B) {
+	bt, err := workload.Image(workload.ImageConfig{NumTasks: 400, Overlap: workload.HighOverlap, NumStorage: 4, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb := hypergraph.NewBuilder()
+	for range bt.Tasks {
+		hb.AddVertex(1)
+	}
+	for f := 0; f < bt.NumFiles(); f++ {
+		req := bt.Require(batch.FileID(f))
+		if len(req) < 2 {
+			continue
+		}
+		pins := make([]int, len(req))
+		for i, t := range req {
+			pins[i] = int(t)
+		}
+		hb.AddNet(bt.FileSize(batch.FileID(f)), pins)
+	}
+	h, err := hb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		noRefine bool
+	}{{"fm", false}, {"no-refine", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				part, err := hypergraph.PartitionKWayOpt(h, 8, hypergraph.KWayOptions{Eps: 0.05, Seed: int64(i), NoRefine: mode.noRefine})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = h.ConnectivityCost(part)
+			}
+			b.ReportMetric(float64(cost), "connectivity-1")
+		})
+	}
+}
+
+// --- Substrate micro-benches ------------------------------------------
+
+// BenchmarkSimplexAssignmentLP measures the LP engine on a transport-
+// style relaxation (the core of every IP node solve).
+func BenchmarkSimplexAssignmentLP(b *testing.B) {
+	const T, N = 120, 8
+	rng := rand.New(rand.NewSource(3))
+	lp := &simplex.LP{NumRows: T + N}
+	for k := 0; k < T; k++ {
+		for i := 0; i < N; i++ {
+			lp.Cost = append(lp.Cost, 1+rng.Float64()*9)
+			lp.Lower = append(lp.Lower, 0)
+			lp.Upper = append(lp.Upper, 1)
+			lp.Cols = append(lp.Cols, []simplex.Entry{{Row: int32(k), Val: 1}, {Row: int32(T + i), Val: 1}})
+		}
+		lp.B = append(lp.B, 1)
+	}
+	for i := 0; i < N; i++ {
+		lp.B = append(lp.B, float64(T)/N+3)
+		lp.Cost = append(lp.Cost, 0)
+		lp.Lower = append(lp.Lower, 0)
+		lp.Upper = append(lp.Upper, 1e18)
+		lp.Cols = append(lp.Cols, []simplex.Entry{{Row: int32(T + i), Val: 1}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simplex.Solve(lp, simplex.Options{})
+		if err != nil || res.Status != simplex.Optimal {
+			b.Fatalf("status %v err %v", res.Status, err)
+		}
+	}
+}
+
+// BenchmarkMIPKnapsack measures branch and bound on a 30-item 0-1
+// knapsack.
+func BenchmarkMIPKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := mip.NewModel()
+	m.SetMaximize()
+	var terms []mip.Term
+	for j := 0; j < 30; j++ {
+		m.AddBinary("x", 1+rng.Float64()*9)
+		terms = append(terms, mip.Term{Var: j, Coef: 1 + rng.Float64()*5})
+	}
+	m.AddRow("cap", terms, mip.LE, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := m.Solve(mip.Options{NodeLimit: 200000})
+		if err != nil || sol.Status == mip.NoSolution {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+	}
+}
+
+// BenchmarkHypergraphKWay measures the multilevel partitioner on a
+// 2000-vertex random hypergraph.
+func BenchmarkHypergraphKWay(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	hb := hypergraph.NewBuilder()
+	for i := 0; i < 2000; i++ {
+		hb.AddVertex(1 + int64(rng.Intn(10)))
+	}
+	for n := 0; n < 3000; n++ {
+		size := 2 + rng.Intn(6)
+		pins := rng.Perm(2000)[:size]
+		hb.AddNet(1+int64(rng.Intn(100)), pins)
+	}
+	h, err := hb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hypergraph.PartitionKWay(h, 16, 0.1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeStage measures the §6 Gantt-chart executor on a
+// 1000-task sub-batch.
+func BenchmarkRuntimeStage(b *testing.B) {
+	bt, err := workload.Image(workload.ImageConfig{NumTasks: 1000, Overlap: workload.HighOverlap, NumStorage: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &core.Problem{Batch: bt, Platform: platform.XIO(8, 4, 0)}
+	s := bipart.New(3)
+	st, err := core.NewState(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := s.PlanSubBatch(st, bt.AllTasks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.NewState(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Execute(st, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures the IMAGE emulator.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Image(workload.ImageConfig{NumTasks: 1000, Overlap: workload.HighOverlap, NumStorage: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

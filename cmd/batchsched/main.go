@@ -1,0 +1,125 @@
+// Command batchsched runs one scheduling experiment: it generates a
+// workload, builds a platform, runs the chosen scheduler through the
+// full three-stage pipeline on the simulator, and reports the result.
+//
+// Usage:
+//
+//	batchsched -app sat|image -tasks 100 -overlap high|medium|low
+//	           -platform xio|osumed -compute 4 -storage 4
+//	           -sched ip|bipartition|minmin|jdp [-disk-gb 40]
+//	           [-no-replication] [-ip-budget 20s] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched/bipart"
+	"repro/internal/sched/ipsched"
+	"repro/internal/sched/jdp"
+	"repro/internal/sched/minmin"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "image", "workload: sat or image")
+	tasks := flag.Int("tasks", 100, "batch size")
+	overlapName := flag.String("overlap", "high", "file sharing: high, medium, low")
+	platName := flag.String("platform", "xio", "storage system: xio or osumed")
+	computeN := flag.Int("compute", 4, "compute nodes")
+	storageN := flag.Int("storage", 4, "storage nodes")
+	schedName := flag.String("sched", "bipartition", "scheduler: ip, bipartition, minmin, jdp")
+	diskGB := flag.Float64("disk-gb", 0, "per-node compute disk in GB (0 = unlimited)")
+	noRep := flag.Bool("no-replication", false, "forbid compute-to-compute replication")
+	ipBudget := flag.Duration("ip-budget", 20*time.Second, "time budget per IP solve")
+	seed := flag.Int64("seed", 1, "workload seed")
+	verbose := flag.Bool("v", false, "print workload statistics")
+	flag.Parse()
+
+	var overlap workload.Overlap
+	switch strings.ToLower(*overlapName) {
+	case "high":
+		overlap = workload.HighOverlap
+	case "medium", "med":
+		overlap = workload.MediumOverlap
+	case "low":
+		overlap = workload.LowOverlap
+	default:
+		fatal("unknown overlap %q", *overlapName)
+	}
+
+	var b *batch.Batch
+	var err error
+	switch strings.ToLower(*app) {
+	case "sat":
+		b, err = workload.Sat(workload.SatConfig{NumTasks: *tasks, Overlap: overlap, NumStorage: *storageN, Seed: *seed})
+	case "image":
+		b, err = workload.Image(workload.ImageConfig{NumTasks: *tasks, Overlap: overlap, NumStorage: *storageN, Seed: *seed})
+	default:
+		fatal("unknown app %q", *app)
+	}
+	if err != nil {
+		fatal("workload: %v", err)
+	}
+
+	disk := int64(*diskGB * float64(platform.GB))
+	var pf *platform.Platform
+	switch strings.ToLower(*platName) {
+	case "xio":
+		pf = platform.XIO(*computeN, *storageN, disk)
+	case "osumed":
+		pf = platform.OSUMED(*computeN, *storageN, disk)
+	default:
+		fatal("unknown platform %q", *platName)
+	}
+
+	var sched core.Scheduler
+	switch strings.ToLower(*schedName) {
+	case "ip":
+		ip := ipsched.New(*seed)
+		ip.AllocBudget = *ipBudget
+		ip.SelectBudget = *ipBudget / 2
+		sched = ip
+	case "bipartition", "bipart":
+		sched = bipart.New(*seed)
+	case "minmin":
+		sched = minmin.New()
+	case "jdp", "jobdatapresent":
+		sched = jdp.New()
+	default:
+		fatal("unknown scheduler %q", *schedName)
+	}
+
+	p := &core.Problem{Batch: b, Platform: pf, DisableReplication: *noRep}
+	if err := p.Validate(); err != nil {
+		fatal("problem: %v", err)
+	}
+	if *verbose {
+		st := b.ComputeStats()
+		fmt.Printf("workload: %d tasks, %d files, %.2f GB unique, %.1f files/task, %.0f%% overlap\n",
+			st.NumTasks, st.NumFiles, float64(st.TotalBytes)/float64(platform.GB), st.MeanFilesPerTask, st.Overlap*100)
+	}
+
+	res, err := core.Run(p, sched)
+	if err != nil {
+		fatal("run: %v", err)
+	}
+	fmt.Printf("scheduler:            %s\n", res.Scheduler)
+	fmt.Printf("batch execution time: %.2f s (simulated)\n", res.Makespan)
+	fmt.Printf("scheduling overhead:  %v (%.3f ms/task)\n", res.SchedulingTime.Round(time.Millisecond), res.SchedulingMSPerTask())
+	fmt.Printf("sub-batches:          %d\n", res.SubBatches)
+	fmt.Printf("remote transfers:     %d (%.2f GB)\n", res.RemoteTransfers, float64(res.RemoteBytes)/float64(platform.GB))
+	fmt.Printf("replications:         %d (%.2f GB)\n", res.ReplicaTransfers, float64(res.ReplicaBytes)/float64(platform.GB))
+	fmt.Printf("evictions:            %d\n", res.Evictions)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command paperfigs regenerates the figures of "Task Scheduling and
+// File Replication for Data-Intensive Jobs with Batch-shared I/O"
+// (HPDC 2006) on the simulated platform, printing one table per
+// figure panel.
+//
+// Usage:
+//
+//	paperfigs [-fig 3|4|5a|5b|6|all] [-quick] [-ip-budget 20s]
+//	          [-skip-ip] [-seed N] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5a, 5b, 6, or all")
+	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
+	ipBudget := flag.Duration("ip-budget", 0, "time budget per IP solve (default 20s, quick 3s)")
+	skipIP := flag.Bool("skip-ip", false, "omit the IP scheduler")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP}
+	runners := map[string]func(experiments.Options) ([]*report.Table, error){
+		"3": experiments.Fig3, "4": experiments.Fig4,
+		"5a": experiments.Fig5a, "5b": experiments.Fig5b,
+		"6": experiments.Fig6,
+	}
+	var order []string
+	if *fig == "all" {
+		order = []string{"3", "4", "5a", "5b", "6"}
+	} else if _, ok := runners[*fig]; ok {
+		order = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3, 4, 5a, 5b, 6, all)\n", *fig)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	for _, f := range order {
+		tables, err := runners[f](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	fmt.Printf("\ntotal time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func writeCSV(dir string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == ' ', r == '(', r == ')', r == ',', r == ':':
+			return '_'
+		default:
+			return -1
+		}
+	}, t.Title)
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.FprintCSV(f)
+	return nil
+}

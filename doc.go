@@ -1,0 +1,15 @@
+// Package repro reproduces "Task Scheduling and File Replication for
+// Data-Intensive Jobs with Batch-shared I/O" (Khanna et al., HPDC
+// 2006) as a Go library: the 0-1 integer-programming and BiPartition
+// (bi-level hypergraph partitioning) batch schedulers, the MinMin and
+// JobDataPresent baselines, the coupled storage/compute cluster
+// simulator they run on, the SAT and IMAGE workload emulators, and —
+// because the original tools are unavailable here — a pure-Go MILP
+// solver (lp_solve substitute) and multilevel hypergraph partitioner
+// with BINW support (PaToH substitute).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the figure-by-figure reproduction record. The
+// benchmark suite in bench_test.go regenerates every figure of the
+// paper's evaluation.
+package repro

@@ -1,0 +1,139 @@
+package batch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merged is a batch whose files have been collapsed into equivalence
+// classes: two files are equivalent when they are required by exactly
+// the same set of tasks. Equivalent files are interchangeable in the
+// paper's 0-1 IP formulations — every feasible solution assigns them
+// identical X/Y/R patterns in some optimal solution — so they can be
+// merged into one "super-file" whose size is the sum of the class,
+// shrinking the variable and constraint counts dramatically on
+// high-overlap workloads.
+//
+// A super-file inherits the storage Home of its first member; the
+// expansion step (Expand) restores per-member homes for the runtime
+// stage, which is what actually moves bytes.
+type Merged struct {
+	// B is the reduced batch (same tasks, merged files).
+	B *Batch
+	// Members[f] lists the original FileIDs folded into reduced file f.
+	Members [][]FileID
+	// Orig maps each original file to its reduced file.
+	Orig []FileID
+}
+
+// MergeEquivalentFiles builds the file equivalence-class reduction of b.
+// Tasks keep their IDs, computes, and names; each task's file list is
+// rewritten in terms of the reduced files.
+func MergeEquivalentFiles(b *Batch) (*Merged, error) {
+	if err := b.Finalize(); err != nil {
+		return nil, err
+	}
+	type class struct {
+		id      FileID
+		members []FileID
+		size    int64
+	}
+	classes := make(map[string]*class)
+	order := make([]*class, 0)
+	orig := make([]FileID, len(b.Files))
+	for fi := range b.Files {
+		f := FileID(fi)
+		key := requireKey(b.Require(f))
+		c, ok := classes[key]
+		if !ok {
+			c = &class{id: FileID(len(order))}
+			classes[key] = c
+			order = append(order, c)
+		}
+		c.members = append(c.members, f)
+		c.size += b.Files[fi].Size
+		orig[fi] = c.id
+	}
+
+	rb := New()
+	for _, c := range order {
+		first := b.Files[c.members[0]]
+		name := first.Name
+		if len(c.members) > 1 {
+			name = fmt.Sprintf("class(%s+%d)", first.Name, len(c.members)-1)
+		}
+		rb.AddFile(name, c.size, first.Home)
+	}
+	for ti := range b.Tasks {
+		t := &b.Tasks[ti]
+		seen := make(map[FileID]bool)
+		var fs []FileID
+		for _, f := range t.Files {
+			rf := orig[f]
+			if !seen[rf] {
+				seen[rf] = true
+				fs = append(fs, rf)
+			}
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		rb.AddTask(t.Name, t.Compute, fs)
+	}
+	if err := rb.Finalize(); err != nil {
+		return nil, err
+	}
+	m := &Merged{B: rb, Orig: orig}
+	m.Members = make([][]FileID, len(order))
+	for i, c := range order {
+		m.Members[i] = c.members
+	}
+	return m, nil
+}
+
+// Expand translates a set of reduced files back to original files.
+func (m *Merged) Expand(fs []FileID) []FileID {
+	var out []FileID
+	for _, f := range fs {
+		out = append(out, m.Members[f]...)
+	}
+	return out
+}
+
+func requireKey(ts []TaskID) string {
+	// Require lists are built in ascending task order by Finalize, so
+	// the raw byte encoding is canonical.
+	buf := make([]byte, 0, len(ts)*4)
+	for _, t := range ts {
+		buf = append(buf, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+	}
+	return string(buf)
+}
+
+// SubBatch returns a new batch containing only the given tasks (IDs are
+// renumbered densely) and only the files they access. The returned
+// mapping slices translate new IDs back to the originals.
+func SubBatch(b *Batch, ts []TaskID) (sub *Batch, taskOrig []TaskID, fileOrig []FileID) {
+	sub = New()
+	fileNew := make(map[FileID]FileID)
+	for _, t := range ts {
+		for _, f := range b.Tasks[t].Files {
+			if _, ok := fileNew[f]; !ok {
+				nf := sub.AddFile(b.Files[f].Name, b.Files[f].Size, b.Files[f].Home)
+				fileNew[f] = nf
+				fileOrig = append(fileOrig, f)
+			}
+		}
+	}
+	for _, t := range ts {
+		tk := &b.Tasks[t]
+		fs := make([]FileID, len(tk.Files))
+		for i, f := range tk.Files {
+			fs[i] = fileNew[f]
+		}
+		sub.AddTask(tk.Name, tk.Compute, fs)
+		taskOrig = append(taskOrig, t)
+	}
+	if err := sub.Finalize(); err != nil {
+		panic(err) // b was already validated; sub-batch cannot be invalid
+	}
+	return sub, taskOrig, fileOrig
+}

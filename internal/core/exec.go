@@ -1,0 +1,509 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/batch"
+	"repro/internal/gantt"
+)
+
+// ExecStats reports what the runtime stage did for one sub-batch.
+type ExecStats struct {
+	// Makespan is the sub-batch execution time: the latest finish time
+	// over all compute nodes, measured from the sub-batch start.
+	Makespan float64
+	// TasksRun counts tasks executed.
+	TasksRun int
+	// RemoteTransfers / RemoteBytes count storage→compute stagings.
+	RemoteTransfers int
+	RemoteBytes     int64
+	// ReplicaTransfers / ReplicaBytes count compute→compute copies.
+	ReplicaTransfers int
+	ReplicaBytes     int64
+	// StorageBusy / ComputeBusy are total reserved seconds, summed over
+	// nodes, for utilization reporting.
+	StorageBusy float64
+	ComputeBusy float64
+}
+
+// Execute runs one sub-batch plan through the §6 runtime stage:
+// tasks within each node group are ordered by earliest completion
+// time; each missing input file is staged from the source giving the
+// minimum transfer completion time (or from the source the pinned IP
+// plan dictates), reserving slots on the source port, destination port
+// and — on platforms with one — the shared inter-cluster link.
+// Transfers and execution on a compute node serialize on its single
+// port (the paper's single-port model; no staging overlaps execution
+// on the same node). Execute mutates st: staged files are recorded in
+// the disk cache, task completion is marked, and the state clock
+// advances by the sub-batch makespan.
+func Execute(st *State, plan *SubPlan) (*ExecStats, error) {
+	e, err := newExecutor(st, plan)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// transfer tags recorded in Gantt intervals, for debugging and tests.
+const (
+	tagTransfer int32 = 1
+	tagExec     int32 = 2
+)
+
+type stageKey struct {
+	file batch.FileID
+	dest int
+}
+
+type executor struct {
+	st   *State
+	plan *SubPlan
+
+	storageTL []*gantt.Timeline
+	computeTL []*gantt.Timeline
+	linkTL    *gantt.Timeline
+
+	// avail[n][f] is the committed availability time of file f on
+	// compute node n within this sub-batch; negative means absent.
+	avail [][]float64
+
+	planned map[stageKey]Staging
+
+	stats ExecStats
+}
+
+func newExecutor(st *State, plan *SubPlan) (*executor, error) {
+	if len(plan.Tasks) == 0 {
+		return nil, fmt.Errorf("core: empty sub-batch plan")
+	}
+	p := st.P
+	e := &executor{st: st, plan: plan}
+	for range p.Platform.Storage {
+		e.storageTL = append(e.storageTL, gantt.NewTimeline())
+	}
+	for range p.Platform.Compute {
+		e.computeTL = append(e.computeTL, gantt.NewTimeline())
+	}
+	if p.Platform.SharedLinkBW > 0 {
+		e.linkTL = gantt.NewTimeline()
+	}
+	nf := p.Batch.NumFiles()
+	e.avail = make([][]float64, p.Platform.NumCompute())
+	for n := range e.avail {
+		e.avail[n] = make([]float64, nf)
+		for f := range e.avail[n] {
+			if st.Holds(n, batch.FileID(f)) {
+				e.avail[n][f] = 0
+			} else {
+				e.avail[n][f] = -1
+			}
+		}
+	}
+	if plan.Pinned {
+		e.planned = make(map[stageKey]Staging, len(plan.Staging))
+		for _, s := range plan.Staging {
+			e.planned[stageKey{s.File, s.Dest}] = s
+		}
+	}
+	for _, t := range plan.Tasks {
+		n, ok := plan.Node[t]
+		if !ok {
+			return nil, fmt.Errorf("core: plan contains task %d with no node assignment", t)
+		}
+		if n < 0 || n >= p.Platform.NumCompute() {
+			return nil, fmt.Errorf("core: task %d assigned to unknown node %d", t, n)
+		}
+		if st.Done[t] {
+			return nil, fmt.Errorf("core: task %d already executed", t)
+		}
+	}
+	return e, nil
+}
+
+// schedEnv abstracts committed vs tentative scheduling so the same
+// staging logic serves both ECT estimation and the final commit.
+type schedEnv struct {
+	e      *executor
+	commit bool
+	// overlays (tentative mode only), keyed by underlying timeline.
+	overlays map[*gantt.Timeline]*gantt.Overlay
+	// scratch availability additions (tentative mode only).
+	scratch  map[stageKey]float64
+	visiting map[stageKey]bool
+}
+
+func newSchedEnv(e *executor, commit bool) *schedEnv {
+	v := &schedEnv{e: e, commit: commit, visiting: make(map[stageKey]bool)}
+	if !commit {
+		v.overlays = make(map[*gantt.Timeline]*gantt.Overlay)
+		v.scratch = make(map[stageKey]float64)
+	}
+	return v
+}
+
+func (v *schedEnv) availOn(n int, f batch.FileID) (float64, bool) {
+	if a := v.e.avail[n][f]; a >= 0 {
+		return a, true
+	}
+	if !v.commit {
+		if a, ok := v.scratch[stageKey{f, n}]; ok {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func (v *schedEnv) setAvail(n int, f batch.FileID, at float64) {
+	if v.commit {
+		v.e.avail[n][f] = at
+	} else {
+		v.scratch[stageKey{f, n}] = at
+	}
+}
+
+func (v *schedEnv) searcher(tl *gantt.Timeline) gantt.SlotSearcher {
+	if v.commit {
+		return tl
+	}
+	ov, ok := v.overlays[tl]
+	if !ok {
+		ov = gantt.NewOverlay(tl)
+		v.overlays[tl] = ov
+	}
+	return ov
+}
+
+func (v *schedEnv) reserve(tl *gantt.Timeline, start, dur float64, tag int32) {
+	if v.commit {
+		tl.Reserve(start, dur, tag)
+		return
+	}
+	ov, ok := v.overlays[tl]
+	if !ok {
+		ov = gantt.NewOverlay(tl)
+		v.overlays[tl] = ov
+	}
+	ov.Add(start, dur)
+}
+
+// ensureFile makes file f available on compute node dst, scheduling
+// whatever transfer chain is needed, and returns its availability
+// time. In pinned mode the plan's source choice is followed (with
+// fallback to dynamic choice on cycles or missing entries); otherwise
+// the source with minimum transfer completion time wins, per §6.
+func (v *schedEnv) ensureFile(f batch.FileID, dst int) (float64, error) {
+	if at, ok := v.availOn(dst, f); ok {
+		return at, nil
+	}
+	key := stageKey{f, dst}
+	if v.visiting[key] {
+		// Replication cycle in a pinned plan; break it with a remote
+		// transfer.
+		return v.remoteTransfer(f, dst)
+	}
+	v.visiting[key] = true
+	defer delete(v.visiting, key)
+
+	if v.e.plan.Pinned {
+		if op, ok := v.e.planned[key]; ok {
+			if op.Kind == Remote || v.e.st.P.DisableReplication {
+				return v.remoteTransfer(f, dst)
+			}
+			srcAt, err := v.ensureFile(f, op.Src)
+			if err != nil {
+				return 0, err
+			}
+			return v.replicaTransfer(f, op.Src, dst, srcAt)
+		}
+		// No planned movement for a file a task needs here: the plan is
+		// incomplete (should not happen for IP-feasible plans); fall
+		// through to dynamic choice.
+	}
+
+	// Dynamic choice: min transfer completion time over the remote
+	// source and every node already holding (or scheduled to receive)
+	// the file.
+	bestSrc, _, _ := v.bestSource(f, dst)
+	if bestSrc < 0 {
+		return v.remoteTransfer(f, dst)
+	}
+	srcAt, _ := v.availOn(bestSrc, f)
+	return v.replicaTransfer(f, bestSrc, dst, srcAt)
+}
+
+// bestSource evaluates every possible source of file f for node dst
+// against the current Gantt view and returns the one with minimum
+// transfer completion time (src = -1 means remote from the file's
+// storage home), without reserving anything.
+func (v *schedEnv) bestSource(f batch.FileID, dst int) (src int, start, tct float64) {
+	pf := v.e.st.P.Platform
+	home := v.e.st.P.Batch.Files[f].Home
+	size := v.e.st.P.Batch.FileSize(f)
+	src = -1
+	dur := float64(size) / pf.RemoteBW(home, dst)
+	start = v.multiSlot(0, dur, v.remoteResources(home, dst)...)
+	tct = start + dur
+	if v.e.st.P.DisableReplication {
+		return src, start, tct
+	}
+	for j := range pf.Compute {
+		if j == dst {
+			continue
+		}
+		at, ok := v.availOn(j, f)
+		if !ok {
+			continue
+		}
+		rdur := float64(size) / pf.ReplicaBW(j, dst)
+		rstart := v.multiSlot(at, rdur, v.searcher(v.e.computeTL[j]), v.searcher(v.e.computeTL[dst]))
+		if rtct := rstart + rdur; rtct < tct-1e-12 {
+			src, start, tct = j, rstart, rtct
+		}
+	}
+	return src, start, tct
+}
+
+// probeTCT returns the minimum transfer completion time for staging f
+// onto dst against the current view, without reserving.
+func (v *schedEnv) probeTCT(f batch.FileID, dst int) float64 {
+	_, _, tct := v.bestSource(f, dst)
+	return tct
+}
+
+func (v *schedEnv) remoteResources(home, dst int) []gantt.SlotSearcher {
+	res := []gantt.SlotSearcher{v.searcher(v.e.storageTL[home]), v.searcher(v.e.computeTL[dst])}
+	if v.e.linkTL != nil {
+		res = append(res, v.searcher(v.e.linkTL))
+	}
+	return res
+}
+
+func (v *schedEnv) multiSlot(after, dur float64, res ...gantt.SlotSearcher) float64 {
+	return gantt.MultiSlot(after, dur, res...)
+}
+
+func (v *schedEnv) remoteTransfer(f batch.FileID, dst int) (float64, error) {
+	p := v.e.st.P
+	home := p.Batch.Files[f].Home
+	size := p.Batch.FileSize(f)
+	dur := float64(size) / p.Platform.RemoteBW(home, dst)
+	start := v.multiSlot(0, dur, v.remoteResources(home, dst)...)
+	if v.commit {
+		v.e.storageTL[home].Reserve(start, dur, tagTransfer)
+		v.e.computeTL[dst].Reserve(start, dur, tagTransfer)
+		if v.e.linkTL != nil {
+			v.e.linkTL.Reserve(start, dur, tagTransfer)
+		}
+		if err := v.e.st.AddFile(dst, f, v.e.base()+start+dur); err != nil {
+			return 0, err
+		}
+		v.e.stats.RemoteTransfers++
+		v.e.stats.RemoteBytes += size
+	} else {
+		v.reserve(v.e.storageTL[home], start, dur, tagTransfer)
+		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
+		if v.e.linkTL != nil {
+			v.reserve(v.e.linkTL, start, dur, tagTransfer)
+		}
+	}
+	v.setAvail(dst, f, start+dur)
+	return start + dur, nil
+}
+
+func (v *schedEnv) replicaTransfer(f batch.FileID, src, dst int, srcAt float64) (float64, error) {
+	p := v.e.st.P
+	size := p.Batch.FileSize(f)
+	dur := float64(size) / p.Platform.ReplicaBW(src, dst)
+	start := v.multiSlot(srcAt, dur, v.searcher(v.e.computeTL[src]), v.searcher(v.e.computeTL[dst]))
+	if v.commit {
+		v.e.computeTL[src].Reserve(start, dur, tagTransfer)
+		v.e.computeTL[dst].Reserve(start, dur, tagTransfer)
+		if err := v.e.st.AddFile(dst, f, v.e.base()+start+dur); err != nil {
+			return 0, err
+		}
+		v.e.stats.ReplicaTransfers++
+		v.e.stats.ReplicaBytes += size
+	} else {
+		v.reserve(v.e.computeTL[src], start, dur, tagTransfer)
+		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
+	}
+	v.setAvail(dst, f, start+dur)
+	return start + dur, nil
+}
+
+// base returns the absolute sim time at the start of this sub-batch.
+func (e *executor) base() float64 { return e.st.Clock }
+
+// scheduleTask stages task t's missing files (greedy min-TCT order,
+// per §6) and then places its execution; it returns the task's
+// completion time. With commit=false everything happens on overlays.
+func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
+	v := newSchedEnv(e, commit)
+	c := e.plan.Node[t]
+	task := &e.st.P.Batch.Tasks[t]
+
+	// Stage missing files. §6 picks the file with minimum TCT first,
+	// recomputes, and repeats; since transfers to one node serialize on
+	// its port, scheduling shorter-TCT transfers first is what the
+	// greedy order achieves. We emulate it by repeatedly choosing the
+	// cheapest remaining file.
+	remaining := make([]batch.FileID, 0, len(task.Files))
+	arrival := 0.0
+	for _, f := range task.Files {
+		if at, ok := v.availOn(c, f); ok {
+			if at > arrival {
+				arrival = at
+			}
+			continue
+		}
+		remaining = append(remaining, f)
+	}
+	for len(remaining) > 0 {
+		// §6: estimate the TCT of every remaining input file against
+		// the current Gantt view, tentatively schedule the minimum,
+		// recompute the rest, and repeat. In pinned (IP-plan) mode the
+		// source is dictated and may involve realizing a replication
+		// chain, which probing cannot price without side effects, so
+		// files are taken in ascending-size order there (the same
+		// order min-TCT produces on an otherwise idle port).
+		best := 0
+		if e.plan.Pinned {
+			for i := 1; i < len(remaining); i++ {
+				if e.st.P.Batch.FileSize(remaining[i]) < e.st.P.Batch.FileSize(remaining[best]) {
+					best = i
+				}
+			}
+		} else {
+			bestTCT := math.Inf(1)
+			for i, f := range remaining {
+				if tct := v.probeTCT(f, c); tct < bestTCT {
+					bestTCT, best = tct, i
+				}
+			}
+		}
+		f := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		at, err := v.ensureFile(f, c)
+		if err != nil {
+			return 0, err
+		}
+		if at > arrival {
+			arrival = at
+		}
+	}
+
+	// Execute: local read of all inputs plus computation, on the
+	// node's port (no staging overlaps execution).
+	var bytes int64
+	for _, f := range task.Files {
+		bytes += e.st.P.Batch.FileSize(f)
+	}
+	execDur := float64(bytes)/e.st.P.Platform.Compute[c].LocalReadBW + task.Compute
+	start := v.searcher(e.computeTL[c]).EarliestSlot(arrival, execDur)
+	if commit {
+		e.computeTL[c].Reserve(start, execDur, tagExec)
+		e.st.Done[t] = true
+		e.stats.TasksRun++
+		for _, f := range task.Files {
+			e.st.Touch(c, f, e.base()+start+execDur)
+		}
+	}
+	return start + execDur, nil
+}
+
+// ectEntry is a heap entry with a cached earliest completion time.
+type ectEntry struct {
+	task batch.TaskID
+	ect  float64
+	ver  int
+}
+
+type ectHeap []ectEntry
+
+func (h ectHeap) Len() int            { return len(h) }
+func (h ectHeap) Less(i, j int) bool  { return h[i].ect < h[j].ect }
+func (h ectHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ectHeap) Push(x interface{}) { *h = append(*h, x.(ectEntry)) }
+func (h *ectHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (e *executor) run() (*ExecStats, error) {
+	// Global earliest-completion-time ordering with lazy re-evaluation:
+	// cached ECTs go stale only when a commit changes the Gantt state,
+	// so each pop re-evaluates at most once per version. This is the
+	// paper's "schedule the task with the lowest earliest completion
+	// time first" rule.
+	// Pre-staging ops (e.g. DataLeastLoaded replicas) commit first so
+	// every task sees the extra copies.
+	for _, op := range e.plan.PreStage {
+		if e.avail[op.Dest][op.File] >= 0 {
+			continue // already there
+		}
+		v := newSchedEnv(e, true)
+		var err error
+		if op.Kind == Replica && !e.st.P.DisableReplication && e.avail[op.Src][op.File] >= 0 {
+			srcAt := e.avail[op.Src][op.File]
+			_, err = v.replicaTransfer(op.File, op.Src, op.Dest, srcAt)
+		} else {
+			_, err = v.remoteTransfer(op.File, op.Dest)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cached ECTs are invalidated per compute node: committing a task
+	// on node c changes c's port schedule (and marginally the storage
+	// ports), so only tasks mapped to c re-evaluate; tasks elsewhere
+	// keep slightly stale estimates. Together with a small relative
+	// commit tolerance for near-tied candidates this keeps ordering
+	// cost near O(T·files) instead of O(T²·files) on large
+	// sub-batches, while preserving the §6 earliest-completion-time
+	// discipline.
+	h := &ectHeap{}
+	nodeVer := make([]int, len(e.computeTL))
+	for _, t := range e.plan.Tasks {
+		ect, err := e.scheduleTask(t, false)
+		if err != nil {
+			return nil, err
+		}
+		heap.Push(h, ectEntry{task: t, ect: ect, ver: 0})
+	}
+	const commitSlack = 1.01
+	for h.Len() > 0 {
+		top := heap.Pop(h).(ectEntry)
+		node := e.plan.Node[top.task]
+		if top.ver != nodeVer[node] {
+			ect, err := e.scheduleTask(top.task, false)
+			if err != nil {
+				return nil, err
+			}
+			if h.Len() > 0 && ect > (*h)[0].ect*commitSlack+1e-12 {
+				heap.Push(h, ectEntry{task: top.task, ect: ect, ver: nodeVer[node]})
+				continue
+			}
+		}
+		if _, err := e.scheduleTask(top.task, true); err != nil {
+			return nil, err
+		}
+		nodeVer[node]++
+	}
+
+	e.stats.Makespan = gantt.Makespan(e.computeTL)
+	for _, tl := range e.storageTL {
+		e.stats.StorageBusy += tl.BusyTime()
+	}
+	for _, tl := range e.computeTL {
+		e.stats.ComputeBusy += tl.BusyTime()
+	}
+	e.st.Clock += e.stats.Makespan
+	return &e.stats, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// Result aggregates one full batch run: the three-stage pipeline
+// applied repeatedly until every task has executed.
+type Result struct {
+	Scheduler string
+	// Makespan is the total simulated batch execution time in seconds
+	// (sum of sub-batch makespans; sub-batches run back to back).
+	Makespan float64
+	// SchedulingTime is the real wall-clock time the scheduler spent
+	// planning (the paper's scheduling overhead; Figure 6(b) reports
+	// it per task).
+	SchedulingTime time.Duration
+	SubBatches     int
+	TaskCount      int
+
+	RemoteTransfers  int
+	RemoteBytes      int64
+	ReplicaTransfers int
+	ReplicaBytes     int64
+	Evictions        int
+
+	StorageBusy float64
+	ComputeBusy float64
+}
+
+// SchedulingMSPerTask returns the paper's Figure 6(b) metric.
+func (r *Result) SchedulingMSPerTask() float64 {
+	if r.TaskCount == 0 {
+		return 0
+	}
+	return float64(r.SchedulingTime.Milliseconds()) / float64(r.TaskCount)
+}
+
+// Run executes the complete three-stage pipeline of the paper: the
+// scheduler repeatedly selects and maps a sub-batch of the pending
+// tasks (stages 1–2), the §6 runtime stage executes it on the
+// simulated platform (stage 3), and the scheduler's eviction policy
+// frees compute-cluster disk before the next round. Run returns the
+// accumulated result once every task has executed.
+func Run(p *Problem, s Scheduler) (*Result, error) {
+	st, err := NewState(p)
+	if err != nil {
+		return nil, err
+	}
+	return RunFrom(st, s, p.Batch.AllTasks())
+}
+
+// RunFrom is Run starting from an existing cluster state and an
+// explicit pending-task set, allowing callers to chain batches over a
+// warm disk cache.
+func RunFrom(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
+	res := &Result{Scheduler: s.Name(), TaskCount: len(pending)}
+	pendingSet := make(map[batch.TaskID]bool, len(pending))
+	for _, t := range pending {
+		pendingSet[t] = true
+	}
+	for len(pending) > 0 {
+		t0 := time.Now()
+		plan, err := s.PlanSubBatch(st, pending)
+		res.SchedulingTime += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s failed to plan a sub-batch with %d tasks pending: %w", s.Name(), len(pending), err)
+		}
+		if plan == nil || len(plan.Tasks) == 0 {
+			return nil, fmt.Errorf("core: %s returned an empty sub-batch with %d tasks pending", s.Name(), len(pending))
+		}
+		for _, t := range plan.Tasks {
+			if !pendingSet[t] {
+				return nil, fmt.Errorf("core: %s planned task %d which is not pending", s.Name(), t)
+			}
+		}
+		stats, err := Execute(st, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing %s sub-batch %d: %w", s.Name(), res.SubBatches, err)
+		}
+		res.SubBatches++
+		res.Makespan += stats.Makespan
+		res.RemoteTransfers += stats.RemoteTransfers
+		res.RemoteBytes += stats.RemoteBytes
+		res.ReplicaTransfers += stats.ReplicaTransfers
+		res.ReplicaBytes += stats.ReplicaBytes
+		res.StorageBusy += stats.StorageBusy
+		res.ComputeBusy += stats.ComputeBusy
+
+		for _, t := range plan.Tasks {
+			delete(pendingSet, t)
+		}
+		pending = pending[:0]
+		for t := range pendingSet {
+			pending = append(pending, t)
+		}
+		pending = batch.SortedCopy(pending)
+
+		if len(pending) > 0 {
+			t0 = time.Now()
+			s.Evict(st, pending)
+			res.SchedulingTime += time.Since(t0)
+		}
+	}
+	res.Evictions = st.Evictions
+	return res, nil
+}

@@ -1,0 +1,335 @@
+// Package experiments reproduces every figure of the paper's
+// evaluation (§7): the workload and platform configuration of each
+// experiment, the schedulers it compares, and runners that regenerate
+// the same rows/series the paper plots. Both cmd/paperfigs and the
+// repository's benchmark suite drive these runners.
+//
+// Calibration notes (see EXPERIMENTS.md): simulated platforms use the
+// paper's published bandwidths; the Figure 5(b) per-node disk is
+// scaled so the requirement/capacity ratio of the sweep matches the
+// paper's (their 40 GB nodes against a ~330 GB peak requirement ⇒ our
+// 12 GB nodes against the emulator's ~113-230 GB peak); IP solves are
+// time-budgeted (the paper's lp_solve runs were minutes-to-hours at
+// this scale; our branch and bound returns its best incumbent at the
+// deadline).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/sched/bipart"
+	"repro/internal/sched/ipsched"
+	"repro/internal/sched/jdp"
+	"repro/internal/sched/minmin"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks workloads ~10× and IP budgets for smoke runs and
+	// benchmarks; figures keep their shape but absolute values shrink.
+	Quick bool
+	// IPBudget caps each IP allocation solve (default 20 s, quick 3 s).
+	IPBudget time.Duration
+	// Seed varies the generated workloads.
+	Seed int64
+	// SkipIP drops the IP scheduler from figures that include it.
+	SkipIP bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.IPBudget == 0 {
+		if o.Quick {
+			o.IPBudget = 3 * time.Second
+		} else {
+			o.IPBudget = 20 * time.Second
+		}
+	}
+	return o
+}
+
+func (o Options) tasks(full int) int {
+	if o.Quick {
+		n := full / 10
+		if n < 8 {
+			n = 8
+		}
+		return n
+	}
+	return full
+}
+
+// run executes one (problem, scheduler) pair.
+func run(p *core.Problem, s core.Scheduler) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return core.Run(p, s)
+}
+
+// schedulerSet builds the figure-3/4 scheduler lineup.
+func schedulerSet(o Options) []core.Scheduler {
+	ss := []core.Scheduler{}
+	if !o.SkipIP {
+		ip := ipsched.New(o.Seed + 100)
+		ip.AllocBudget = o.IPBudget
+		ip.SelectBudget = o.IPBudget / 2
+		ss = append(ss, ip)
+	}
+	ss = append(ss, bipart.New(o.Seed+200), minmin.New(), jdp.New())
+	return ss
+}
+
+func columnNames(ss []core.Scheduler) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// makeImage builds an IMAGE batch for the given overlap.
+func makeImage(o Options, tasks, storage int, ov workload.Overlap) (*batch.Batch, error) {
+	return workload.Image(workload.ImageConfig{
+		NumTasks: tasks, Overlap: ov, NumStorage: storage, Seed: o.Seed + int64(ov)*7,
+	})
+}
+
+// makeSat builds a SAT batch for the given overlap.
+func makeSat(o Options, tasks, storage int, ov workload.Overlap) (*batch.Batch, error) {
+	return workload.Sat(workload.SatConfig{
+		NumTasks: tasks, Overlap: ov, NumStorage: storage, Seed: o.Seed + int64(ov)*13,
+	})
+}
+
+// overlapFigure renders one panel of Figure 3/4: batch execution time
+// for the three overlap classes under every scheduler.
+func overlapFigure(o Options, app string, pf func() *platform.Platform,
+	gen func(ov workload.Overlap) (*batch.Batch, error)) (*report.Table, error) {
+	ss := schedulerSet(o)
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s: batch execution time (s), %s", pf().Name, app),
+		XLabel:  "overlap",
+		YLabel:  "batch execution time (s)",
+		Columns: columnNames(ss),
+	}
+	for _, ov := range []workload.Overlap{workload.HighOverlap, workload.MediumOverlap, workload.LowOverlap} {
+		b, err := gen(ov)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(ss))
+		for i, s := range ss {
+			res, err := run(&core.Problem{Batch: b, Platform: pf()}, s)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%v: %w", app, s.Name(), ov, err)
+			}
+			vals[i] = res.Makespan
+		}
+		t.AddRow(ov.String(), vals...)
+	}
+	if !o.SkipIP {
+		t.Notes = append(t.Notes, fmt.Sprintf("IP solves budgeted at %v per sub-batch (best incumbent used)", o.IPBudget))
+	}
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: IMAGE on (a) OSUMED and (b) XIO storage,
+// 100 tasks, 4 compute + 4 storage nodes, three overlap classes.
+func Fig3(o Options) ([]*report.Table, error) {
+	o = o.withDefaults()
+	n := o.tasks(100)
+	gen := func(ov workload.Overlap) (*batch.Batch, error) { return makeImage(o, n, 4, ov) }
+	a, err := overlapFigure(o, fmt.Sprintf("IMAGE %d tasks", n), func() *platform.Platform { return platform.OSUMED(4, 4, 0) }, gen)
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Fig 3(a) " + a.Title
+	bt, err := overlapFigure(o, fmt.Sprintf("IMAGE %d tasks", n), func() *platform.Platform { return platform.XIO(4, 4, 0) }, gen)
+	if err != nil {
+		return nil, err
+	}
+	bt.Title = "Fig 3(b) " + bt.Title
+	return []*report.Table{a, bt}, nil
+}
+
+// Fig4 reproduces Figure 4: SAT on (a) OSUMED and (b) XIO storage.
+func Fig4(o Options) ([]*report.Table, error) {
+	o = o.withDefaults()
+	n := o.tasks(100)
+	gen := func(ov workload.Overlap) (*batch.Batch, error) { return makeSat(o, n, 4, ov) }
+	a, err := overlapFigure(o, fmt.Sprintf("SAT %d tasks", n), func() *platform.Platform { return platform.OSUMED(4, 4, 0) }, gen)
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Fig 4(a) " + a.Title
+	bt, err := overlapFigure(o, fmt.Sprintf("SAT %d tasks", n), func() *platform.Platform { return platform.XIO(4, 4, 0) }, gen)
+	if err != nil {
+		return nil, err
+	}
+	bt.Title = "Fig 4(b) " + bt.Title
+	return []*report.Table{a, bt}, nil
+}
+
+// Fig5a reproduces Figure 5(a): the benefit of compute-to-compute
+// replication over no replication, on 8 compute + 4 OSUMED storage
+// nodes with 100-task high-overlap batches of both applications.
+func Fig5a(o Options) ([]*report.Table, error) {
+	o = o.withDefaults()
+	n := o.tasks(100)
+	t := &report.Table{
+		Title:   "Fig 5(a) replication vs no replication (batch execution time, s)",
+		XLabel:  "application",
+		YLabel:  "batch execution time (s)",
+		Columns: []string{"Replication", "NoReplication"},
+	}
+	for _, app := range []string{"IMAGE", "SAT"} {
+		var b *batch.Batch
+		var err error
+		if app == "IMAGE" {
+			// Four hot groups, as in the SAT workload: with more
+			// compute nodes (8) than hot spots, tasks sharing files
+			// necessarily span nodes and replication has room to help.
+			b, err = workload.Image(workload.ImageConfig{
+				NumTasks: n, Overlap: workload.HighOverlap, NumStorage: 4,
+				Seed: o.Seed + 31, HotGroups: 4,
+			})
+		} else {
+			b, err = makeSat(o, n, 4, workload.HighOverlap)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s := bipart.New(o.Seed + 300)
+		with, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0)}, s)
+		if err != nil {
+			return nil, err
+		}
+		without, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: true}, s)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app, with.Makespan, without.Makespan)
+	}
+	t.Notes = append(t.Notes, "scheduler: BiPartition; platform: 8 compute + 4 OSUMED storage nodes")
+	return []*report.Table{t}, nil
+}
+
+// Fig5bDiskPerNode is the per-node compute disk of the Figure 5(b)
+// sweep. The paper used 40 GB nodes (160 GB aggregate) against a
+// 40→330 GB requirement sweep, i.e. the batch grows from comfortably
+// fitting to ≈2× over-subscribed. The emulator's requirement sweep is
+// ≈6→47 GB, so 6 GB nodes (24 GB aggregate) preserve that
+// requirement/capacity trajectory (fits at 500 tasks, ≈2× at 4000).
+const Fig5bDiskPerNode = 6 * platform.GB
+
+// Fig5b reproduces Figure 5(b): batch execution time versus batch
+// size under disk pressure (4 compute + 4 XIO storage nodes,
+// high-overlap IMAGE).
+func Fig5b(o Options) ([]*report.Table, error) {
+	o = o.withDefaults()
+	sizes := []int{500, 1000, 2000, 4000}
+	disk := int64(Fig5bDiskPerNode)
+	if o.Quick {
+		sizes = []int{50, 100, 200, 400}
+		disk /= 10
+	}
+	ss := []core.Scheduler{bipart.New(o.Seed + 400), minmin.New(), jdp.New()}
+	t := &report.Table{
+		Title:   "Fig 5(b) batch execution time vs batch size (IMAGE high overlap, limited disk)",
+		XLabel:  "tasks",
+		YLabel:  "batch execution time (s)",
+		Columns: columnNames(ss),
+	}
+	for _, n := range sizes {
+		b, err := makeImage(o, n, 4, workload.HighOverlap)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(ss))
+		for i, s := range ss {
+			res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, s)
+			if err != nil {
+				return nil, fmt.Errorf("fig5b %s n=%d: %w", s.Name(), n, err)
+			}
+			vals[i] = res.Makespan
+		}
+		t.AddRow(fmt.Sprintf("%d", n), vals...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("per-node disk %.0f GB (see EXPERIMENTS.md calibration); IP omitted as in the paper (prohibitive scheduling overhead)", float64(disk)/float64(platform.GB)))
+	return []*report.Table{t}, nil
+}
+
+// Fig6 reproduces Figure 6: (a) batch execution time and (b) per-task
+// scheduling time while the compute cluster scales 2→32 nodes
+// (1000-task high-overlap IMAGE, 8 XIO storage nodes). The IP
+// scheduler joins only the node counts where its model stays
+// tractable, mirroring the paper's observation.
+func Fig6(o Options) ([]*report.Table, error) {
+	o = o.withDefaults()
+	n := o.tasks(1000)
+	nodes := []int{2, 4, 8, 16, 32}
+	ipMaxNodes := 4 // IP measured only on the small configurations
+	ss := schedulerSet(o)
+	ta := &report.Table{
+		Title:   "Fig 6(a) batch execution time vs compute nodes (IMAGE high overlap)",
+		XLabel:  "nodes",
+		YLabel:  "batch execution time (s)",
+		Columns: columnNames(ss),
+	}
+	tb := &report.Table{
+		Title:   "Fig 6(b) scheduling time per task (ms) vs compute nodes",
+		XLabel:  "nodes",
+		YLabel:  "scheduling ms per task",
+		Columns: columnNames(ss),
+	}
+	for _, C := range nodes {
+		b, err := makeImage(o, n, 8, workload.HighOverlap)
+		if err != nil {
+			return nil, err
+		}
+		valsA := make([]float64, len(ss))
+		valsB := make([]float64, len(ss))
+		miss := make([]bool, len(ss))
+		for i, s := range ss {
+			if _, isIP := s.(*ipsched.Scheduler); isIP && C > ipMaxNodes {
+				miss[i] = true
+				continue
+			}
+			res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, s)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s C=%d: %w", s.Name(), C, err)
+			}
+			valsA[i] = res.Makespan
+			valsB[i] = res.SchedulingMSPerTask()
+		}
+		label := fmt.Sprintf("%d", C)
+		ta.AddRowMissing(label, valsA, append([]bool(nil), miss...))
+		tb.AddRowMissing(label, valsB, append([]bool(nil), miss...))
+	}
+	if !o.SkipIP {
+		note := fmt.Sprintf("IP measured only up to %d nodes (budget %v per solve); beyond that its overhead is prohibitive, as the paper reports", ipMaxNodes, o.IPBudget)
+		ta.Notes = append(ta.Notes, note)
+		tb.Notes = append(tb.Notes, note)
+	}
+	return []*report.Table{ta, tb}, nil
+}
+
+// All runs every figure.
+func All(o Options) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, f := range []func(Options) ([]*report.Table, error){Fig3, Fig4, Fig5a, Fig5b, Fig6} {
+		ts, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}

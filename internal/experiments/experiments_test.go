@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// quick returns the smallest-possible options for smoke tests.
+func quick() Options {
+	return Options{Quick: true, Seed: 3, IPBudget: time.Second, SkipIP: true}
+}
+
+func TestFig5aQuick(t *testing.T) {
+	tables, err := Fig5a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("unexpected table shape: %+v", tables)
+	}
+	// Replication must not be slower than no-replication on the
+	// shared-link platform.
+	for _, row := range tables[0].Rows {
+		with, without := row.Values[0], row.Values[1]
+		if with > without*1.02 {
+			t.Errorf("%s: replication (%v) slower than none (%v)", row.Label, with, without)
+		}
+	}
+}
+
+func TestFig5bQuick(t *testing.T) {
+	tables, err := Fig5b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Batch time must grow with batch size for every scheduler.
+	for c := range tables[0].Columns {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Values[c] <= rows[i-1].Values[c] {
+				t.Errorf("column %s not increasing at row %s", tables[0].Columns[c], rows[i].Label)
+			}
+		}
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	tables, err := Fig3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("panels = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 3 {
+			t.Fatalf("%s rows = %d", tb.Title, len(tb.Rows))
+		}
+		// Low overlap must not be cheaper than high overlap (more data
+		// to move) for the BiPartition column.
+		if tb.Rows[2].Values[0] < tb.Rows[0].Values[0] {
+			t.Errorf("%s: low overlap cheaper than high", tb.Title)
+		}
+	}
+}
+
+func TestFig6QuickIncludesOverheadPanel(t *testing.T) {
+	tables, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("panels = %d", len(tables))
+	}
+	if len(tables[1].Rows) != 5 {
+		t.Fatalf("node sweep rows = %d", len(tables[1].Rows))
+	}
+}

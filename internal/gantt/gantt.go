@@ -1,0 +1,188 @@
+// Package gantt provides the timeline-reservation structure the paper's
+// runtime stage (§6) maintains for storage and compute nodes: sorted
+// lists of busy intervals supporting earliest-free-slot queries,
+// committed reservations, and cheap tentative overlays used while
+// estimating a task's earliest completion time without committing its
+// transfers.
+package gantt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a half-open busy period [Start, End).
+type Interval struct {
+	Start, End float64
+	// Tag identifies what the reservation is for (caller-defined).
+	Tag int32
+}
+
+// Timeline is a single-port resource schedule: a sorted,
+// non-overlapping list of busy intervals.
+type Timeline struct {
+	ivs []Interval
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Reset clears all reservations.
+func (t *Timeline) Reset() { t.ivs = t.ivs[:0] }
+
+// Len returns the number of busy intervals.
+func (t *Timeline) Len() int { return len(t.ivs) }
+
+// Intervals returns the busy intervals in order. The slice must not be
+// modified.
+func (t *Timeline) Intervals() []Interval { return t.ivs }
+
+// EarliestSlot returns the earliest start ≥ after at which a
+// reservation of the given duration fits.
+func (t *Timeline) EarliestSlot(after, dur float64) float64 {
+	return earliestSlot(t.ivs, nil, after, dur)
+}
+
+// Reserve books [start, start+dur) on the timeline. It panics if the
+// slot overlaps an existing reservation: callers must only reserve
+// slots returned by EarliestSlot (or verified free).
+func (t *Timeline) Reserve(start, dur float64, tag int32) {
+	if dur < 0 {
+		panic("gantt: negative duration")
+	}
+	end := start + dur
+	i := sort.Search(len(t.ivs), func(i int) bool { return t.ivs[i].Start >= start })
+	// check neighbours for overlap
+	if i > 0 && t.ivs[i-1].End > start+overlapEps {
+		panic(fmt.Sprintf("gantt: reservation [%g,%g) overlaps [%g,%g)", start, end, t.ivs[i-1].Start, t.ivs[i-1].End))
+	}
+	if i < len(t.ivs) && t.ivs[i].Start < end-overlapEps {
+		panic(fmt.Sprintf("gantt: reservation [%g,%g) overlaps [%g,%g)", start, end, t.ivs[i].Start, t.ivs[i].End))
+	}
+	t.ivs = append(t.ivs, Interval{})
+	copy(t.ivs[i+1:], t.ivs[i:])
+	t.ivs[i] = Interval{Start: start, End: end, Tag: tag}
+}
+
+// FinishTime returns the end of the last reservation (0 when empty).
+func (t *Timeline) FinishTime() float64 {
+	if len(t.ivs) == 0 {
+		return 0
+	}
+	return t.ivs[len(t.ivs)-1].End
+}
+
+// BusyTime returns the total reserved duration.
+func (t *Timeline) BusyTime() float64 {
+	var sum float64
+	for _, iv := range t.ivs {
+		sum += iv.End - iv.Start
+	}
+	return sum
+}
+
+// overlapEps tolerates floating-point slop when two reservations abut.
+const overlapEps = 1e-9
+
+// Overlay augments a base timeline with a small set of tentative
+// reservations, so a candidate task's transfers can be slot-searched
+// without mutating the committed schedule. Overlays are meant to hold
+// only a handful of intervals (one per input file of one task).
+type Overlay struct {
+	base  *Timeline
+	extra []Interval // sorted by Start
+}
+
+// NewOverlay wraps base with an empty tentative set.
+func NewOverlay(base *Timeline) *Overlay { return &Overlay{base: base} }
+
+// Reset drops the tentative reservations (the base is untouched).
+func (o *Overlay) Reset(base *Timeline) {
+	o.base = base
+	o.extra = o.extra[:0]
+}
+
+// Add tentatively books [start, start+dur).
+func (o *Overlay) Add(start, dur float64) {
+	iv := Interval{Start: start, End: start + dur}
+	i := sort.Search(len(o.extra), func(i int) bool { return o.extra[i].Start >= iv.Start })
+	o.extra = append(o.extra, Interval{})
+	copy(o.extra[i+1:], o.extra[i:])
+	o.extra[i] = iv
+}
+
+// EarliestSlot returns the earliest start ≥ after at which dur fits,
+// considering both committed and tentative reservations.
+func (o *Overlay) EarliestSlot(after, dur float64) float64 {
+	return earliestSlot(o.base.ivs, o.extra, after, dur)
+}
+
+// earliestSlot merge-scans two sorted interval lists for the first gap
+// of length dur starting at or after `after`.
+func earliestSlot(a, b []Interval, after, dur float64) float64 {
+	if dur < 0 {
+		panic("gantt: negative duration")
+	}
+	t := after
+	i := sort.Search(len(a), func(i int) bool { return a[i].End > after })
+	j := sort.Search(len(b), func(j int) bool { return b[j].End > after })
+	for {
+		// next blocking interval: the earlier-starting of a[i], b[j]
+		var next *Interval
+		if i < len(a) && (j >= len(b) || a[i].Start <= b[j].Start) {
+			next = &a[i]
+		} else if j < len(b) {
+			next = &b[j]
+		}
+		if next == nil || t+dur <= next.Start+overlapEps {
+			return t
+		}
+		if next.End > t {
+			t = next.End
+		}
+		if i < len(a) && next == &a[i] {
+			i++
+		} else {
+			j++
+		}
+	}
+}
+
+// MultiSlot finds the earliest common start ≥ after at which a
+// reservation of duration dur fits simultaneously on every one of the
+// given slot-searchers (a transfer occupies its source port,
+// destination port and, optionally, a shared link at the same time).
+func MultiSlot(after, dur float64, res ...SlotSearcher) float64 {
+	t := after
+	for iter := 0; ; iter++ {
+		advanced := false
+		for _, r := range res {
+			s := r.EarliestSlot(t, dur)
+			if s > t {
+				t = s
+				advanced = true
+			}
+		}
+		if !advanced {
+			return t
+		}
+		if iter > 1_000_000 {
+			panic("gantt: MultiSlot failed to converge")
+		}
+	}
+}
+
+// SlotSearcher is the common query interface of Timeline and Overlay.
+type SlotSearcher interface {
+	EarliestSlot(after, dur float64) float64
+}
+
+// Makespan returns the max finish time across timelines.
+func Makespan(ts []*Timeline) float64 {
+	m := 0.0
+	for _, t := range ts {
+		m = math.Max(m, t.FinishTime())
+	}
+	return m
+}

@@ -1,0 +1,78 @@
+// Package hilbert implements the 2-D Hilbert space-filling curve used
+// to decluster satellite data chunks across storage nodes, following
+// the Faloutsos-Roseman secondary-key-retrieval scheme the paper cites
+// for its SAT dataset distribution.
+package hilbert
+
+// D2XY converts a distance d along the Hilbert curve of order
+// log2(n) (n a power of two) to (x, y) coordinates in the n×n grid.
+func D2XY(n int, d int) (x, y int) {
+	rx, ry := 0, 0
+	t := d
+	for s := 1; s < n; s *= 2 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// XY2D converts (x, y) coordinates in the n×n grid (n a power of two)
+// to the distance along the Hilbert curve.
+func XY2D(n int, x, y int) int {
+	d := 0
+	for s := n / 2; s > 0; s /= 2 {
+		rx, ry := 0, 0
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = rot(n, x, y, rx, ry)
+	}
+	return d
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(n, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = n - 1 - x
+			y = n - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// Decluster assigns each cell of a w×h grid to one of numNodes storage
+// nodes by walking the Hilbert curve of the smallest enclosing
+// power-of-two square and dealing cells round-robin in curve order.
+// Spatially adjacent cells therefore land on different nodes, which is
+// the property the Hilbert declustering method is used for: a
+// spatio-temporal window query touches many storage nodes at once,
+// spreading I/O load.
+func Decluster(w, h, numNodes int) [][]int {
+	n := 1
+	for n < w || n < h {
+		n *= 2
+	}
+	assign := make([][]int, h)
+	for y := range assign {
+		assign[y] = make([]int, w)
+	}
+	idx := 0
+	for d := 0; d < n*n; d++ {
+		x, y := D2XY(n, d)
+		if x < w && y < h {
+			assign[y][x] = idx % numNodes
+			idx++
+		}
+	}
+	return assign
+}

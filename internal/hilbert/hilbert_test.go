@@ -1,0 +1,108 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		for d := 0; d < n*n; d++ {
+			x, y := D2XY(n, d)
+			if x < 0 || x >= n || y < 0 || y >= n {
+				t.Fatalf("n=%d d=%d out of grid: (%d,%d)", n, d, x, y)
+			}
+			if got := XY2D(n, x, y); got != d {
+				t.Fatalf("n=%d: XY2D(D2XY(%d)) = %d", n, d, got)
+			}
+		}
+	}
+}
+
+func TestCurveIsContinuous(t *testing.T) {
+	// Consecutive curve positions are grid neighbours (the defining
+	// locality property).
+	const n = 16
+	px, py := D2XY(n, 0)
+	for d := 1; d < n*n; d++ {
+		x, y := D2XY(n, d)
+		dist := abs(x-px) + abs(y-py)
+		if dist != 1 {
+			t.Fatalf("d=%d: jump of %d from (%d,%d) to (%d,%d)", d, dist, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestCurveVisitsEveryCellOnce(t *testing.T) {
+	const n = 8
+	seen := map[[2]int]bool{}
+	for d := 0; d < n*n; d++ {
+		x, y := D2XY(n, d)
+		if seen[[2]int{x, y}] {
+			t.Fatalf("cell (%d,%d) visited twice", x, y)
+		}
+		seen[[2]int{x, y}] = true
+	}
+	if len(seen) != n*n {
+		t.Fatalf("visited %d cells of %d", len(seen), n*n)
+	}
+}
+
+func TestDecluster(t *testing.T) {
+	assign := Decluster(10, 5, 4)
+	counts := map[int]int{}
+	for y := range assign {
+		for x := range assign[y] {
+			node := assign[y][x]
+			if node < 0 || node >= 4 {
+				t.Fatalf("cell (%d,%d) on node %d", x, y, node)
+			}
+			counts[node]++
+		}
+	}
+	// Round-robin along the curve keeps node loads within one cell.
+	for n := 0; n < 4; n++ {
+		if counts[n] < 50/4 || counts[n] > 50/4+1 {
+			t.Fatalf("node %d holds %d of 50 cells", n, counts[n])
+		}
+	}
+}
+
+func TestDeclusterSpreadsNeighbours(t *testing.T) {
+	// Adjacent cells along the curve land on different nodes, so a
+	// small spatial window touches several storage nodes.
+	assign := Decluster(8, 8, 4)
+	same := 0
+	total := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 7; x++ {
+			total++
+			if assign[y][x] == assign[y][x+1] {
+				same++
+			}
+		}
+	}
+	if same*3 > total {
+		t.Fatalf("too many horizontally adjacent cells share a node: %d/%d", same, total)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := 32
+		d := int(raw) % (n * n)
+		x, y := D2XY(n, d)
+		return XY2D(n, x, y) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

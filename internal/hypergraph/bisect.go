@@ -1,0 +1,325 @@
+package hypergraph
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// balanceMode selects the quantity the bisection balances.
+type balanceMode int
+
+const (
+	// balanceVertex balances the sum of vertex weights (standard K-way
+	// partitioning: computational load balance).
+	balanceVertex balanceMode = iota
+	// balanceIncident balances the per-vertex incident net weight plus
+	// absorbed size-1 weight (the BINW proxy: storage requirement).
+	balanceIncident
+)
+
+// balanceWeights derives the per-vertex balance weights for a mode.
+func balanceWeights(h *Hypergraph, mode balanceMode) []int64 {
+	w := make([]int64, h.NumV)
+	switch mode {
+	case balanceVertex:
+		copy(w, h.VWeight)
+	case balanceIncident:
+		for v := 0; v < h.NumV; v++ {
+			s := h.ExtraVWeight[v]
+			for _, n := range h.VertexNets(v) {
+				s += h.NWeight[n]
+			}
+			w[v] = s
+		}
+	}
+	return w
+}
+
+// bisection holds working state for a 2-way partition of one level.
+type bisection struct {
+	h      *Hypergraph
+	part   []int   // 0 or 1 per vertex
+	bw     []int64 // balance weight per vertex
+	pw     [2]int64
+	cnt    [][2]int32 // per net: pins in part 0 / part 1
+	cut    int64
+	target [2]int64 // desired part weights
+	maxW   [2]int64 // hard caps (target·(1+ε))
+}
+
+func newBisection(h *Hypergraph, bw []int64, targetFrac, eps float64) *bisection {
+	b := &bisection{h: h, bw: bw}
+	var total int64
+	for _, w := range bw {
+		total += w
+	}
+	b.target[0] = int64(float64(total) * targetFrac)
+	b.target[1] = total - b.target[0]
+	b.maxW[0] = int64(float64(b.target[0]) * (1 + eps))
+	b.maxW[1] = int64(float64(b.target[1]) * (1 + eps))
+	b.part = make([]int, h.NumV)
+	b.cnt = make([][2]int32, h.NumN)
+	return b
+}
+
+// setAll initializes counts and cut from the current b.part.
+func (b *bisection) setAll() {
+	b.pw = [2]int64{}
+	for v := 0; v < b.h.NumV; v++ {
+		b.pw[b.part[v]] += b.bw[v]
+	}
+	b.cut = 0
+	for n := 0; n < b.h.NumN; n++ {
+		c := [2]int32{}
+		for _, v := range b.h.NetPins(n) {
+			c[b.part[v]]++
+		}
+		b.cnt[n] = c
+		if c[0] > 0 && c[1] > 0 {
+			b.cut += b.h.NWeight[n]
+		}
+	}
+}
+
+// gain returns the cut reduction of moving v to the other side.
+func (b *bisection) gain(v int) int64 {
+	p := b.part[v]
+	var g int64
+	for _, n := range b.h.VertexNets(v) {
+		c := b.cnt[n]
+		if c[p] == 1 && c[1-p] > 0 {
+			g += b.h.NWeight[n]
+		} else if c[1-p] == 0 {
+			g -= b.h.NWeight[n]
+		}
+	}
+	return g
+}
+
+// move flips v to the other side, updating counts, weights and cut.
+func (b *bisection) move(v int) {
+	p := b.part[v]
+	q := 1 - p
+	for _, n := range b.h.VertexNets(v) {
+		c := &b.cnt[n]
+		wasCut := c[0] > 0 && c[1] > 0
+		c[p]--
+		c[q]++
+		isCut := c[0] > 0 && c[1] > 0
+		if wasCut && !isCut {
+			b.cut -= b.h.NWeight[n]
+		} else if !wasCut && isCut {
+			b.cut += b.h.NWeight[n]
+		}
+	}
+	b.pw[p] -= b.bw[v]
+	b.pw[q] += b.bw[v]
+	b.part[v] = q
+}
+
+// feasibleMove reports whether moving v keeps the destination under
+// its cap.
+func (b *bisection) feasibleMove(v int) bool {
+	q := 1 - b.part[v]
+	return b.pw[q]+b.bw[v] <= b.maxW[q]
+}
+
+// growInitial produces an initial bisection by greedy hypergraph
+// growing from a random seed: part 0 grows by strongest connectivity
+// until it reaches its target weight.
+func (b *bisection) growInitial(rng *rand.Rand) {
+	h := b.h
+	for v := range b.part {
+		b.part[v] = 1
+	}
+	inZero := make([]bool, h.NumV)
+	var w0 int64
+	gain := make([]float64, h.NumV)
+	seedOrder := h.shuffledVertices(rng)
+	si := 0
+	// Priority growth: repeatedly add the frontier vertex with the
+	// highest connectivity to part 0, seeding with random vertices
+	// when the frontier dries up.
+	frontier := map[int32]float64{}
+	addNeighbors := func(v int) {
+		for _, n := range h.VertexNets(v) {
+			pins := h.NetPins(int(n))
+			s := float64(h.NWeight[n]) / float64(maxInt(1, len(pins)-1))
+			for _, u := range pins {
+				if !inZero[u] {
+					frontier[u] += s
+					gain[u] += s
+				}
+			}
+		}
+	}
+	for w0 < b.target[0] {
+		var pick int32 = -1
+		bestG := -1.0
+		for u, g := range frontier {
+			if g > bestG {
+				pick, bestG = u, g
+			}
+		}
+		if pick < 0 {
+			// Seed from the random order.
+			for si < len(seedOrder) && inZero[seedOrder[si]] {
+				si++
+			}
+			if si >= len(seedOrder) {
+				break
+			}
+			pick = seedOrder[si]
+		}
+		if w0+b.bw[pick] > b.maxW[0] && w0 > 0 {
+			delete(frontier, pick)
+			if len(frontier) == 0 {
+				break
+			}
+			continue
+		}
+		inZero[pick] = true
+		delete(frontier, pick)
+		b.part[pick] = 0
+		w0 += b.bw[pick]
+		addNeighbors(int(pick))
+	}
+	b.setAll()
+}
+
+// fmEntry is a heap element with a cached gain.
+type fmEntry struct {
+	v    int32
+	gain int64
+}
+
+type fmHeap []fmEntry
+
+func (h fmHeap) Len() int            { return len(h) }
+func (h fmHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h fmHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x interface{}) { *h = append(*h, x.(fmEntry)) }
+func (h *fmHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refineFM runs Fiduccia-Mattheyses passes: each pass tentatively
+// moves every vertex at most once in best-gain order (respecting the
+// balance caps), tracks the best prefix, and rolls back past it.
+// Passes repeat until a pass yields no improvement.
+func (b *bisection) refineFM(maxPasses int) {
+	n := b.h.NumV
+	locked := make([]bool, n)
+	moves := make([]int32, 0, n)
+	for pass := 0; pass < maxPasses; pass++ {
+		for i := range locked {
+			locked[i] = false
+		}
+		moves = moves[:0]
+		h := &fmHeap{}
+		for v := 0; v < n; v++ {
+			heap.Push(h, fmEntry{v: int32(v), gain: b.gain(v)})
+		}
+		startCut := b.cut
+		bestCut := b.cut
+		bestLen := 0
+		for h.Len() > 0 {
+			e := heap.Pop(h).(fmEntry)
+			if locked[e.v] {
+				continue
+			}
+			g := b.gain(int(e.v))
+			if g != e.gain {
+				heap.Push(h, fmEntry{v: e.v, gain: g})
+				continue
+			}
+			if !b.feasibleMove(int(e.v)) {
+				// Cannot move now; it may become feasible later in the
+				// pass, but for simplicity lock it out of this pass.
+				locked[e.v] = true
+				continue
+			}
+			b.move(int(e.v))
+			locked[e.v] = true
+			moves = append(moves, e.v)
+			if b.cut < bestCut {
+				bestCut = b.cut
+				bestLen = len(moves)
+			}
+			// Neighbour gains changed; they will lazily re-validate on
+			// pop. Push fresh entries for unlocked neighbours.
+			for _, net := range b.h.VertexNets(int(e.v)) {
+				for _, u := range b.h.NetPins(int(net)) {
+					if !locked[u] {
+						heap.Push(h, fmEntry{v: u, gain: b.gain(int(u))})
+					}
+				}
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i >= bestLen; i-- {
+			b.move(int(moves[i]))
+		}
+		if bestCut >= startCut {
+			break
+		}
+	}
+}
+
+// multilevelBisect partitions h into two sides with part-0 balance
+// target targetFrac (of total balance weight) and imbalance tolerance
+// eps, minimizing cut net weight. Multiple initial-partition trials
+// keep the best result.
+func multilevelBisect(h *Hypergraph, mode balanceMode, targetFrac, eps float64, rng *rand.Rand, noRefine bool) []int {
+	const coarsenTarget = 80
+	levels, maps := coarsenTo(h, coarsenTarget, rng)
+	coarsest := levels[len(levels)-1]
+
+	// Initial partitioning on the coarsest level: several GHG trials,
+	// keep the lowest feasible cut.
+	bw := balanceWeights(coarsest, mode)
+	var best []int
+	var bestCut int64 = -1
+	trials := 6
+	for trial := 0; trial < trials; trial++ {
+		b := newBisection(coarsest, bw, targetFrac, eps)
+		b.growInitial(rng)
+		if !noRefine {
+			b.refineFM(4)
+		}
+		if bestCut < 0 || b.cut < bestCut {
+			bestCut = b.cut
+			best = append(best[:0:0], b.part...)
+		}
+	}
+
+	// Uncoarsen with FM refinement at each level.
+	part := best
+	for lev := len(levels) - 2; lev >= 0; lev-- {
+		fine := levels[lev]
+		m := maps[lev]
+		finePart := make([]int, fine.NumV)
+		for v := 0; v < fine.NumV; v++ {
+			finePart[v] = part[m[v]]
+		}
+		b := newBisection(fine, balanceWeights(fine, mode), targetFrac, eps)
+		copy(b.part, finePart)
+		b.setAll()
+		if !noRefine {
+			b.refineFM(3)
+		}
+		part = b.part
+	}
+	return part
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

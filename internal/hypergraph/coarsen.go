@@ -1,0 +1,152 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// coarsenOnce performs one level of heavy-connectivity matching: each
+// unmatched vertex pairs with the unmatched neighbour it shares the
+// largest total net weight with (net weight scaled by 1/(size−1), the
+// usual heavy-connectivity strength), and matched pairs collapse into
+// coarse vertices. Nets are re-pinned onto coarse vertices; nets that
+// collapse to a single pin are removed from the net list with their
+// weight absorbed into the coarse vertex's ExtraVWeight (the paper's
+// PaToH modification for BINW accounting); identical nets merge,
+// summing weights.
+//
+// It returns the coarse hypergraph and the fine→coarse vertex map.
+func coarsenOnce(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
+	match := make([]int32, h.NumV)
+	for i := range match {
+		match[i] = -1
+	}
+	strength := make(map[int32]float64)
+	order := h.shuffledVertices(rng)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		for k := range strength {
+			delete(strength, k)
+		}
+		for _, n := range h.VertexNets(int(v)) {
+			pins := h.NetPins(int(n))
+			if len(pins) < 2 {
+				continue
+			}
+			s := float64(h.NWeight[n]) / float64(len(pins)-1)
+			for _, u := range pins {
+				if u != v && match[u] < 0 {
+					strength[u] += s
+				}
+			}
+		}
+		best := int32(-1)
+		bestS := 0.0
+		for u, s := range strength {
+			if s > bestS || (s == bestS && best >= 0 && u < best) {
+				best, bestS = u, s
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v // singleton
+		}
+	}
+
+	// Assign coarse ids.
+	coarseOf := make([]int32, h.NumV)
+	for i := range coarseOf {
+		coarseOf[i] = -1
+	}
+	nc := 0
+	for v := 0; v < h.NumV; v++ {
+		if coarseOf[v] >= 0 {
+			continue
+		}
+		coarseOf[v] = int32(nc)
+		if m := match[v]; m != int32(v) && m >= 0 {
+			coarseOf[m] = int32(nc)
+		}
+		nc++
+	}
+
+	cb := NewBuilder()
+	for c := 0; c < nc; c++ {
+		cb.AddVertex(0)
+	}
+	cw := make([]int64, nc)
+	cextra := make([]int64, nc)
+	for v := 0; v < h.NumV; v++ {
+		cw[coarseOf[v]] += h.VWeight[v]
+		cextra[coarseOf[v]] += h.ExtraVWeight[v]
+	}
+
+	// Re-pin nets, dropping size-1 nets into extra weight and merging
+	// duplicates.
+	type netKey string
+	merged := make(map[netKey]int)
+	var pinsBuf []int32
+	for n := 0; n < h.NumN; n++ {
+		pinsBuf = pinsBuf[:0]
+		for _, v := range h.NetPins(n) {
+			pinsBuf = append(pinsBuf, coarseOf[v])
+		}
+		sort.Slice(pinsBuf, func(i, j int) bool { return pinsBuf[i] < pinsBuf[j] })
+		uniq := pinsBuf[:0]
+		var last int32 = -1
+		for _, c := range pinsBuf {
+			if c != last {
+				uniq = append(uniq, c)
+				last = c
+			}
+		}
+		if len(uniq) <= 1 {
+			if len(uniq) == 1 {
+				cextra[uniq[0]] += h.NWeight[n]
+			}
+			continue
+		}
+		key := make([]byte, 0, len(uniq)*4)
+		for _, c := range uniq {
+			key = append(key, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		if idx, ok := merged[netKey(key)]; ok {
+			cb.nweights[idx] += h.NWeight[n]
+			continue
+		}
+		ints := make([]int, len(uniq))
+		for i, c := range uniq {
+			ints[i] = int(c)
+		}
+		idx := cb.AddNet(h.NWeight[n], ints)
+		merged[netKey(key)] = idx
+	}
+	copy(cb.vweights, cw)
+	copy(cb.extra, cextra)
+	ch, err := cb.Build()
+	if err != nil {
+		panic(err) // construction is internally consistent
+	}
+	return ch, coarseOf
+}
+
+// coarsenTo repeatedly coarsens until the vertex count drops to at
+// most target or progress stalls. It returns the level stack (finest
+// first) and the fine→coarse maps between consecutive levels.
+func coarsenTo(h *Hypergraph, target int, rng *rand.Rand) (levels []*Hypergraph, maps [][]int32) {
+	levels = []*Hypergraph{h}
+	for levels[len(levels)-1].NumV > target {
+		cur := levels[len(levels)-1]
+		ch, m := coarsenOnce(cur, rng)
+		if ch.NumV >= cur.NumV || float64(ch.NumV) > 0.95*float64(cur.NumV) {
+			break
+		}
+		levels = append(levels, ch)
+		maps = append(maps, m)
+	}
+	return levels, maps
+}

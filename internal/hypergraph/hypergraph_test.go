@@ -1,0 +1,299 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildSample constructs the paper's Figure 2 example: 8 tasks, files
+// A..H shared as drawn (approximation of the figure: a few files
+// shared by neighbouring tasks).
+func buildSample(t *testing.T) *Hypergraph {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < 8; i++ {
+		b.AddVertex(1)
+	}
+	b.AddNet(1, []int{0, 1})    // A
+	b.AddNet(1, []int{1, 2})    // B
+	b.AddNet(1, []int{2, 3})    // C
+	b.AddNet(1, []int{3, 4})    // D
+	b.AddNet(1, []int{4, 5})    // E
+	b.AddNet(1, []int{5, 6})    // F
+	b.AddNet(1, []int{6, 7})    // G
+	b.AddNet(1, []int{0, 7})    // H (ring closure)
+	b.AddNet(2, []int{0, 1, 2}) // heavier shared file
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func randomHypergraph(rng *rand.Rand, nv, nn int) *Hypergraph {
+	b := NewBuilder()
+	for i := 0; i < nv; i++ {
+		b.AddVertex(1 + int64(rng.Intn(20)))
+	}
+	for j := 0; j < nn; j++ {
+		size := 2 + rng.Intn(5)
+		if size > nv {
+			size = nv
+		}
+		perm := rng.Perm(nv)[:size]
+		b.AddNet(1+int64(rng.Intn(50)), perm)
+	}
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	b.AddVertex(1)
+	b.AddNet(1, []int{0, 3}) // unknown vertex
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for unknown pin")
+	}
+	b2 := NewBuilder()
+	b2.AddVertex(1)
+	b2.AddVertex(1)
+	b2.AddNet(1, []int{0, 0})
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("expected error for duplicate pin")
+	}
+}
+
+func TestVNetsConsistency(t *testing.T) {
+	h := buildSample(t)
+	// Every pin relation must appear in both directions.
+	for n := 0; n < h.NumN; n++ {
+		for _, v := range h.NetPins(n) {
+			found := false
+			for _, nn := range h.VertexNets(int(v)) {
+				if int(nn) == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("net %d pins vertex %d but reverse edge missing", n, v)
+			}
+		}
+	}
+}
+
+func TestConnectivityCostManual(t *testing.T) {
+	h := buildSample(t)
+	part := []int{0, 0, 0, 1, 1, 1, 1, 0}
+	// Cut nets: C(2,3), F? no (5,6 both 1), G(6,7) cut, H(0,7) not cut
+	// (0 and 7 both part 0), E no, A no, B no, heavy{0,1,2} no.
+	// So cost = w(C)·1 + w(G)·1 = 2.
+	if got := h.ConnectivityCost(part); got != 2 {
+		t.Fatalf("connectivity cost = %d, want 2", got)
+	}
+}
+
+func TestPartitionKWayIsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		h := randomHypergraph(rng, 50+rng.Intn(100), 80+rng.Intn(150))
+		k := 2 + rng.Intn(6)
+		part, err := PartitionKWay(h, k, 0.1, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part) != h.NumV {
+			t.Fatalf("partition length %d != %d vertices", len(part), h.NumV)
+		}
+		for v, p := range part {
+			if p < 0 || p >= k {
+				t.Fatalf("vertex %d in invalid part %d (k=%d)", v, p, k)
+			}
+		}
+	}
+}
+
+func TestPartitionKWayBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomHypergraph(rng, 200, 300)
+	k := 4
+	part, err := PartitionKWay(h, k, 0.10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := PartWeights(h, part, k)
+	total := h.TotalVWeight()
+	avg := float64(total) / float64(k)
+	for p, pw := range w {
+		if float64(pw) > avg*1.35 {
+			t.Fatalf("part %d weight %d exceeds 1.35×avg (%f); weights=%v", p, pw, avg, w)
+		}
+	}
+}
+
+func TestPartitionKWayBeatsRandomCut(t *testing.T) {
+	// The partitioner must do clearly better than a random assignment
+	// on a structured (clustered) hypergraph.
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilder()
+	const clusters, per = 4, 30
+	for i := 0; i < clusters*per; i++ {
+		b.AddVertex(1)
+	}
+	// Dense intra-cluster nets, few inter-cluster nets.
+	for c := 0; c < clusters; c++ {
+		for j := 0; j < 60; j++ {
+			v1 := c*per + rng.Intn(per)
+			v2 := c*per + rng.Intn(per)
+			if v1 != v2 {
+				b.AddNet(10, []int{v1, v2})
+			}
+		}
+	}
+	for j := 0; j < 10; j++ {
+		b.AddNet(1, []int{rng.Intn(per), clusters*per - 1 - rng.Intn(per)})
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionKWay(h, clusters, 0.15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := h.ConnectivityCost(part)
+	randPart := make([]int, h.NumV)
+	for v := range randPart {
+		randPart[v] = rng.Intn(clusters)
+	}
+	randCost := h.ConnectivityCost(randPart)
+	if cost*2 > randCost {
+		t.Fatalf("partitioner cost %d not clearly better than random %d", cost, randCost)
+	}
+}
+
+func TestBINWBoundRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		h := randomHypergraph(rng, 60+rng.Intn(60), 100+rng.Intn(100))
+		total := incidentTotal(h)
+		bound := total / int64(3+rng.Intn(3))
+		part, np, err := PartitionBINW(h, bound, 0.2, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np < 1 {
+			t.Fatalf("no parts")
+		}
+		inw := h.IncidentNetWeight(part, np)
+		for p, w := range inw {
+			if w > bound {
+				// Acceptable only for singleton parts that alone
+				// exceed the bound.
+				count := 0
+				for _, pp := range part {
+					if pp == p {
+						count++
+					}
+				}
+				if count > 1 {
+					t.Fatalf("trial %d: part %d (size %d) incident weight %d > bound %d", trial, p, count, w, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestBINWSinglePartWhenFits(t *testing.T) {
+	h := buildSample(t)
+	bound := incidentTotal(h) + 1
+	part, np, err := PartitionBINW(h, bound, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np != 1 {
+		t.Fatalf("numParts = %d, want 1", np)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatalf("part ids not dense: %v", part)
+		}
+	}
+}
+
+func TestCoarseningPreservesTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randomHypergraph(rng, 120, 200)
+	ch, m := coarsenOnce(h, rng)
+	if ch.NumV >= h.NumV {
+		t.Fatalf("coarsening did not shrink: %d -> %d", h.NumV, ch.NumV)
+	}
+	if ch.TotalVWeight() != h.TotalVWeight() {
+		t.Fatalf("vertex weight changed: %d -> %d", h.TotalVWeight(), ch.TotalVWeight())
+	}
+	// Incident totals (net weights + extras) must be conserved.
+	if got, want := incidentTotal(ch), incidentTotal(h); got != want {
+		t.Fatalf("incident total changed: %d -> %d", want, got)
+	}
+	for v := 0; v < h.NumV; v++ {
+		if int(m[v]) < 0 || int(m[v]) >= ch.NumV {
+			t.Fatalf("map out of range")
+		}
+	}
+}
+
+func TestIncidentNetWeightMatchesDefinition(t *testing.T) {
+	h := buildSample(t)
+	part := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	inw := h.IncidentNetWeight(part, 2)
+	// Manual: part 0 vertices {0,1,4,5}; nets touching them:
+	// A{0,1} w1, B{1,2} w1, D{3,4} w1, E{4,5} w1, F{5,6} w1, H{0,7} w1,
+	// heavy{0,1,2} w2 → 1+1+1+1+1+1+2 = 8.
+	if inw[0] != 8 {
+		t.Fatalf("incident weight part 0 = %d, want 8", inw[0])
+	}
+	// part 1 {2,3,6,7}: B, C, D, F, G, H, heavy → 1+1+1+1+1+1+2 = 8.
+	if inw[1] != 8 {
+		t.Fatalf("incident weight part 1 = %d, want 8", inw[1])
+	}
+}
+
+// TestQuickPartitionValid property-tests K-way partitioning on random
+// hypergraphs: output is always a valid partition and the
+// connectivity cost never exceeds the all-nets-fully-cut upper bound.
+func TestQuickPartitionValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(rng, 20+rng.Intn(40), 30+rng.Intn(60))
+		k := 2 + rng.Intn(4)
+		part, err := PartitionKWay(h, k, 0.2, seed)
+		if err != nil {
+			return false
+		}
+		var ub int64
+		for n := 0; n < h.NumN; n++ {
+			sz := len(h.NetPins(n))
+			lam := sz
+			if k < lam {
+				lam = k
+			}
+			ub += h.NWeight[n] * int64(lam-1)
+		}
+		cost := h.ConnectivityCost(part)
+		if cost < 0 || cost > ub {
+			return false
+		}
+		for _, p := range part {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PartitionKWay divides h into k parts minimizing the connectivity-1
+// cost while keeping each part's vertex weight within (1+eps) of the
+// proportional target, via recursive bisection with net splitting.
+// The returned slice maps each vertex to its part (0..k−1).
+func PartitionKWay(h *Hypergraph, k int, eps float64, seed int64) ([]int, error) {
+	return PartitionKWayOpt(h, k, KWayOptions{Eps: eps, Seed: seed})
+}
+
+// KWayOptions tunes PartitionKWayOpt.
+type KWayOptions struct {
+	// Eps is the balance tolerance.
+	Eps float64
+	// Seed drives the randomized multilevel pipeline.
+	Seed int64
+	// NoRefine disables FM refinement (coarsen + initial partition
+	// only), for the ablation bench.
+	NoRefine bool
+}
+
+// PartitionKWayOpt is PartitionKWay with explicit options.
+func PartitionKWayOpt(h *Hypergraph, k int, opt KWayOptions) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("hypergraph: k must be positive, got %d", k)
+	}
+	part := make([]int, h.NumV)
+	if k == 1 || h.NumV == 0 {
+		return part, nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	vid := make([]int32, h.NumV)
+	for i := range vid {
+		vid[i] = int32(i)
+	}
+	recurseKWay(h, vid, k, 0, opt.Eps, rng, part, opt.NoRefine)
+	return part, nil
+}
+
+// recurseKWay bisects h (whose vertices map to original ids via vid)
+// into ⌈k/2⌉ and ⌊k/2⌋ shares and recurses, writing final part labels
+// starting at base into out.
+func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, rng *rand.Rand, out []int, noRefine bool) {
+	if k == 1 {
+		for _, v := range vid {
+			out[v] = base
+		}
+		return
+	}
+	if h.NumV <= 1 {
+		// Degenerate: too few vertices to split; everything lands in
+		// the first child part.
+		for _, v := range vid {
+			out[v] = base
+		}
+		return
+	}
+	k0 := (k + 1) / 2
+	k1 := k - k0
+	frac := float64(k0) / float64(k)
+	// Tighten the tolerance as we descend so the end-to-end imbalance
+	// stays near eps.
+	levelEps := eps
+	if k > 2 {
+		levelEps = eps / 1.5
+	}
+	side := multilevelBisect(h, balanceVertex, frac, levelEps, rng, noRefine)
+	h0, vid0 := extractSide(h, vid, side, 0)
+	h1, vid1 := extractSide(h, vid, side, 1)
+	recurseKWay(h0, vid0, k0, base, eps, rng, out, noRefine)
+	recurseKWay(h1, vid1, k1, base+k0, eps, rng, out, noRefine)
+}
+
+// extractSide builds the sub-hypergraph induced by vertices on the
+// given side, splitting nets: each net keeps its weight on any side
+// where it has at least two pins; single-pin appearances are absorbed
+// into the vertex's ExtraVWeight (preserving the BINW incident-weight
+// accounting and the connectivity-1 total across the recursion).
+func extractSide(h *Hypergraph, vid []int32, side []int, want int) (*Hypergraph, []int32) {
+	newID := make([]int32, h.NumV)
+	for i := range newID {
+		newID[i] = -1
+	}
+	b := NewBuilder()
+	var subVid []int32
+	for v := 0; v < h.NumV; v++ {
+		if side[v] != want {
+			continue
+		}
+		id := b.AddVertex(h.VWeight[v])
+		b.extra[id] = h.ExtraVWeight[v]
+		newID[v] = int32(id)
+		subVid = append(subVid, vid[v])
+	}
+	for n := 0; n < h.NumN; n++ {
+		var pins []int
+		for _, v := range h.NetPins(n) {
+			if newID[v] >= 0 {
+				pins = append(pins, int(newID[v]))
+			}
+		}
+		switch {
+		case len(pins) >= 2:
+			b.AddNet(h.NWeight[n], pins)
+		case len(pins) == 1:
+			b.extra[pins[0]] += h.NWeight[n]
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sub, subVid
+}

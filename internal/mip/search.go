@@ -1,0 +1,191 @@
+package mip
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/simplex"
+)
+
+// search carries the branch-and-bound state. Bounds are mutated in
+// place on the shared LP with undo on backtrack (depth-first), keeping
+// memory flat.
+type search struct {
+	m   *Model
+	lp  *simplex.LP
+	opt Options
+
+	start   time.Time
+	nodes   int
+	bestObj float64 // internal (minimization) direction; +Inf = none
+	bestX   []float64
+	// rootBound is the root LP relaxation value (internal direction);
+	// -Inf until solved. With depth-first search this is the bound we
+	// report (children only tighten it locally).
+	rootBound  float64
+	rootSolved bool
+	hitLimit   bool
+}
+
+func (s *search) timeUp() bool {
+	return s.opt.TimeLimit > 0 && time.Since(s.start) >= s.opt.TimeLimit
+}
+
+func (s *search) setIncumbent(x []float64, objInternal float64) {
+	if objInternal < s.bestObj-1e-12 {
+		s.bestObj = objInternal
+		s.bestX = append(s.bestX[:0], x[:len(s.m.obj)]...)
+	}
+}
+
+// run performs DFS branch and bound.
+func (s *search) run() {
+	s.rootBound = math.Inf(-1)
+	if s.opt.TimeLimit > 0 && s.opt.LP.Deadline.IsZero() {
+		// Individual LP solves must also respect the global deadline,
+		// or a single long root relaxation blows through the budget.
+		s.opt.LP.Deadline = s.start.Add(s.opt.TimeLimit)
+	}
+	s.dfs(0)
+}
+
+type fixing struct {
+	v     int
+	oldLo float64
+	oldHi float64
+}
+
+// dfs explores the subtree under the current bound state.
+func (s *search) dfs(depth int) {
+	if s.timeUp() || s.nodes >= s.opt.NodeLimit {
+		s.hitLimit = true
+		return
+	}
+	s.nodes++
+	res, err := simplex.Solve(s.lp, s.opt.LP)
+	if err != nil {
+		// Structural model errors surface on the root solve via
+		// Model.Solve; per-node errors cannot occur (bounds-only
+		// changes). Treat defensively as a pruned node.
+		s.hitLimit = true
+		return
+	}
+	if depth == 0 {
+		s.rootSolved = res.Status == simplex.Optimal
+		if s.rootSolved {
+			s.rootBound = res.Obj
+		}
+	}
+	switch res.Status {
+	case simplex.Infeasible:
+		return
+	case simplex.Optimal:
+		// fall through
+	case simplex.Unbounded:
+		// A bounded-variable MIP relaxation can only be unbounded via
+		// free continuous variables; give up on bounding this subtree.
+		s.hitLimit = true
+		return
+	default: // IterLimit, Singular: no valid bound; keep diving blind
+		// only if we have no incumbent yet, otherwise prune to stay
+		// within budget.
+		if !math.IsInf(s.bestObj, 1) {
+			s.hitLimit = true
+			return
+		}
+	}
+	if res.Status == simplex.Optimal && res.Obj >= s.bestObj-1e-9 {
+		return // bound prune
+	}
+	// Find the most fractional integer variable.
+	branchVar := -1
+	worst := s.opt.IntTol
+	for j := 0; j < len(s.m.obj); j++ {
+		if !s.m.integer[j] {
+			continue
+		}
+		f := res.X[j] - math.Floor(res.X[j])
+		frac := math.Min(f, 1-f)
+		if frac > worst {
+			worst = frac
+			branchVar = j
+		}
+	}
+	if branchVar < 0 {
+		// Integral: candidate incumbent. Round integer vars exactly
+		// and re-verify (guards against tolerance drift).
+		x := append([]float64(nil), res.X...)
+		for j := range x {
+			if j < len(s.m.integer) && s.m.integer[j] {
+				x[j] = math.Round(x[j])
+			}
+		}
+		if obj, ok := s.m.CheckFeasible(x[:len(s.m.obj)], 1e-6); ok {
+			s.setIncumbent(x, s.internalObj(obj))
+		}
+		return
+	}
+	// Dive toward the LP value first: explore the rounding of the
+	// fractional value before its alternative.
+	v := res.X[branchVar]
+	first := math.Round(v)
+	second := 1 - first
+	if first < 0 || first > 1 {
+		first, second = math.Floor(v), math.Ceil(v)
+	}
+	for _, val := range []float64{first, second} {
+		if s.timeUp() || s.nodes >= s.opt.NodeLimit {
+			s.hitLimit = true
+			return
+		}
+		f := fixing{v: branchVar, oldLo: s.lp.Lower[branchVar], oldHi: s.lp.Upper[branchVar]}
+		s.lp.Lower[branchVar] = val
+		s.lp.Upper[branchVar] = val
+		s.dfs(depth + 1)
+		s.lp.Lower[branchVar] = f.oldLo
+		s.lp.Upper[branchVar] = f.oldHi
+	}
+}
+
+func (s *search) solution() *Solution {
+	sol := &Solution{Nodes: s.nodes}
+	toModel := func(v float64) float64 {
+		if s.m.maximize {
+			return -v
+		}
+		return v
+	}
+	haveIncumbent := !math.IsInf(s.bestObj, 1)
+	if haveIncumbent {
+		sol.Obj = toModel(s.bestObj)
+		sol.X = s.bestX
+	}
+	bound := s.rootBound
+	if !s.hitLimit {
+		// Search exhausted: the incumbent is optimal (or the model is
+		// infeasible).
+		if haveIncumbent {
+			sol.Status = Optimal
+			sol.Bound = sol.Obj
+			return sol
+		}
+		sol.Status = Infeasible
+		return sol
+	}
+	if haveIncumbent {
+		sol.Status = Feasible
+		if s.rootSolved {
+			sol.Bound = toModel(bound)
+			sol.Gap = math.Abs(s.bestObj-bound) / math.Max(1, math.Abs(s.bestObj))
+			if sol.Gap <= 1e-9 {
+				sol.Status = Optimal
+			}
+		} else {
+			sol.Bound = toModel(math.Inf(-1))
+			sol.Gap = math.Inf(1)
+		}
+		return sol
+	}
+	sol.Status = NoSolution
+	return sol
+}

@@ -1,0 +1,113 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXIOPreset(t *testing.T) {
+	p := XIO(4, 4, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCompute() != 4 || p.NumStorage() != 4 {
+		t.Fatalf("shape %d/%d", p.NumCompute(), p.NumStorage())
+	}
+	// XIO remote path is disk-bound at 210 MB/s.
+	if got := p.RemoteBW(0, 0); got != XIODiskBW {
+		t.Fatalf("remote bw = %v, want %v", got, float64(XIODiskBW))
+	}
+	// Compute fabric is Infiniband.
+	if got := p.ReplicaBW(0, 1); got != InfinibandBW {
+		t.Fatalf("replica bw = %v", got)
+	}
+	if p.SharedLinkBW != 0 {
+		t.Fatal("XIO must not have a shared link")
+	}
+}
+
+func TestOSUMEDPreset(t *testing.T) {
+	p := OSUMED(4, 4, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// OSUMED remote path is capped by the 100 Mbps shared link.
+	if got := p.RemoteBW(0, 0); got != OSUMEDLinkBW {
+		t.Fatalf("remote bw = %v, want %v", got, float64(OSUMEDLinkBW))
+	}
+	if p.SharedLinkBW != OSUMEDLinkBW {
+		t.Fatal("OSUMED needs the shared link")
+	}
+	// Replication stays on the fast compute fabric — that asymmetry is
+	// the whole point of Figure 5(a).
+	if got := p.ReplicaBW(0, 1); got != InfinibandBW {
+		t.Fatalf("replica bw = %v", got)
+	}
+}
+
+func TestMinBandwidths(t *testing.T) {
+	p := XIO(3, 2, 0)
+	if got := p.MinRemoteBW(); got != XIODiskBW {
+		t.Fatalf("min remote = %v", got)
+	}
+	if got := p.MinReplicaBW(); got != InfinibandBW {
+		t.Fatalf("min replica = %v", got)
+	}
+	one := XIO(1, 1, 0)
+	if got := one.MinReplicaBW(); got != one.IntraBW {
+		t.Fatalf("single-node replica bw = %v", got)
+	}
+}
+
+func TestAggregateDiskSpace(t *testing.T) {
+	p := XIO(4, 2, 10*GB)
+	if got := p.AggregateDiskSpace(); got != 40*GB {
+		t.Fatalf("aggregate = %d", got)
+	}
+	u := XIO(4, 2, 0)
+	if got := u.AggregateDiskSpace(); got >= 0 {
+		t.Fatalf("unlimited aggregate = %d, want negative sentinel", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	p := XIO(0, 4, 0)
+	if err := p.Validate(); err == nil {
+		t.Fatal("no compute nodes accepted")
+	}
+	p2 := XIO(4, 0, 0)
+	if err := p2.Validate(); err == nil {
+		t.Fatal("no storage nodes accepted")
+	}
+	p3 := XIO(2, 2, 0)
+	p3.InterBW = 0
+	if err := p3.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	// Guard the published test-bed numbers against accidental edits.
+	if XIODiskBW != 210*MB {
+		t.Error("XIO disk bandwidth drifted from the published 210 MB/s")
+	}
+	if OSUMEDLinkBW != 12.5*MB {
+		t.Error("OSUMED link drifted from 100 Mbps")
+	}
+	if math.Abs(PaperComputeFactor*MB-0.001) > 1e-12 {
+		t.Error("compute factor drifted from 0.001 s/MB")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	p := Uniform(3, 2, GB, 10*MB, 100*MB)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RemoteBW(0, 1); got != 10*MB {
+		t.Fatalf("remote bw = %v", got)
+	}
+	if got := p.ReplicaBW(0, 1); got != 100*MB {
+		t.Fatalf("replica bw = %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package report renders experiment results as fixed-width text
+// tables and CSV, mirroring the rows/series of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a labelled grid of values: one row per x-axis point, one
+// column per scheme.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Columns []string
+	Rows    []Row
+	// Notes appear under the table (calibration remarks, budgets).
+	Notes []string
+}
+
+// Row is one x-axis point.
+type Row struct {
+	Label  string
+	Values []float64
+	// Missing marks columns with no measurement (e.g. IP beyond its
+	// tractable scale); rendered as "-".
+	Missing []bool
+}
+
+// AddRow appends a fully populated row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values, Missing: make([]bool, len(values))})
+}
+
+// AddRowMissing appends a row where mask[i] marks missing columns.
+func (t *Table) AddRowMissing(label string, values []float64, mask []bool) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values, Missing: mask})
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s\n", t.Title)
+	if t.YLabel != "" {
+		fmt.Fprintf(w, "   (%s by %s)\n", t.YLabel, t.XLabel)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			s := "-"
+			if j >= len(r.Missing) || !r.Missing[j] {
+				s = formatValue(v)
+			}
+			cells[i][j] = s
+			if j+1 < len(widths) && len(s) > widths[j+1] {
+				widths[j+1] = len(s)
+			}
+		}
+	}
+	for j, c := range t.Columns {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", widths[0]+2, t.XLabel)
+	for j, c := range t.Columns {
+		fmt.Fprintf(w, "%*s", widths[j+1]+2, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*len(widths)))
+	for i, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", widths[0]+2, r.Label)
+		for j := range r.Values {
+			fmt.Fprintf(w, "%*s", widths[j+1]+2, cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// FprintCSV renders the table as CSV.
+func (t *Table) FprintCSV(w io.Writer) {
+	fmt.Fprintf(w, "%s", csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, ",%s", csvEscape(c))
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s", csvEscape(r.Label))
+		for j, v := range r.Values {
+			if j < len(r.Missing) && r.Missing[j] {
+				fmt.Fprint(w, ",")
+			} else {
+				fmt.Fprintf(w, ",%g", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

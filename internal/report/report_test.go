@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "demo",
+		XLabel:  "overlap",
+		YLabel:  "seconds",
+		Columns: []string{"A", "B"},
+	}
+	t.AddRow("high", 1.5, 2000)
+	t.AddRowMissing("low", []float64{3.25, 0}, []bool{false, true})
+	t.Notes = append(t.Notes, "a note")
+	return t
+}
+
+func TestFprint(t *testing.T) {
+	var sb strings.Builder
+	sample().Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "overlap", "A", "B", "high", "1.500", "2000", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell renders as "-".
+	lowLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "low") {
+			lowLine = line
+		}
+	}
+	if !strings.HasSuffix(strings.TrimRight(lowLine, " "), "-") {
+		t.Errorf("missing cell not rendered as -: %q", lowLine)
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	var sb strings.Builder
+	sample().FprintCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "overlap,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "low,3.25," {
+		t.Fatalf("missing cell row = %q", lines[2])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{XLabel: "x", Columns: []string{`we"ird,name`}}
+	tb.AddRow("r", 1)
+	var sb strings.Builder
+	tb.FprintCSV(&sb)
+	if !strings.Contains(sb.String(), `"we""ird,name"`) {
+		t.Fatalf("escaping failed: %s", sb.String())
+	}
+}

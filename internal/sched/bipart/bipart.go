@@ -1,0 +1,406 @@
+// Package bipart implements the paper's BiPartition scheduler (§5):
+// a bi-level hypergraph-partitioning heuristic that decouples task
+// scheduling from data replication.
+//
+// Level 1 (sub-batch selection, §5.2): the pending tasks form a
+// hypergraph — one vertex per task, one net per file connecting the
+// tasks that read it, net weight = file size. A Bounded Incident Net
+// Weight (BINW) partition with bound D = aggregate free compute-
+// cluster disk yields sub-batches whose file working sets each fit the
+// cluster, while the connectivity-1 objective minimizes files shared
+// across sub-batches.
+//
+// Level 2 (task mapping, §5.3): each sub-batch is partitioned K ways
+// (K = compute nodes) minimizing connectivity-1 with vertex weights
+// set to the probabilistic expected execution time of Eq. 25–26,
+// which folds in the chance a file must come from storage
+// (first-task-to-need-it) versus already being on some node.
+//
+// A repair pass enforces per-node disk capacity (§5.3): files staged
+// to an over-full node are dropped in increasing order of their
+// sharer count s_j, and tasks that lost files are deferred to later
+// sub-batches. Eviction between sub-batches uses the §4.3 popularity
+// policy.
+package bipart
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/eviction"
+	"repro/internal/hypergraph"
+)
+
+// Scheduler is the BiPartition scheduler.
+type Scheduler struct {
+	// Epsilon is the second-level balance tolerance (default 0.05).
+	Epsilon float64
+	// BINWEpsilon is the first-level bisection tolerance (default 0.20).
+	BINWEpsilon float64
+	// Seed drives the randomized multilevel partitioner.
+	Seed int64
+	// UseComputeWeightsOnly replaces the Eq. 25–26 probabilistic vertex
+	// weights with plain computation times (for the ablation bench).
+	UseComputeWeightsOnly bool
+	// GreedySubBatch replaces the first-level BINW partition with a
+	// greedy smallest-new-bytes knapsack (for the ablation bench).
+	GreedySubBatch bool
+	// UseLRU swaps the §4.3 popularity eviction for LRU (for the
+	// ablation bench).
+	UseLRU bool
+}
+
+// New returns a BiPartition scheduler with the paper's defaults.
+func New(seed int64) *Scheduler {
+	return &Scheduler{Epsilon: 0.05, BINWEpsilon: 0.20, Seed: seed}
+}
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return "BiPartition" }
+
+// Evict implements core.Scheduler using the §4.3 popularity policy
+// (or LRU when the ablation flag is set).
+func (s *Scheduler) Evict(st *core.State, pending []batch.TaskID) {
+	if s.UseLRU {
+		eviction.LRU(st, pending)
+		return
+	}
+	eviction.Popularity(st, pending)
+}
+
+// PlanSubBatch implements core.Scheduler.
+func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	sub, err := s.selectSubBatch(st, pending)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := s.mapTasks(st, sub)
+	if err != nil {
+		return nil, err
+	}
+	assign = s.repairDisk(st, sub, assign)
+	if len(assign) == 0 {
+		// Repair dropped everything; guarantee progress by placing the
+		// single most-sharing task alone on the emptiest node.
+		assign = s.fallbackSingle(st, pending)
+		if len(assign) == 0 {
+			return nil, fmt.Errorf("bipart: cannot place any pending task (pending %d)", len(pending))
+		}
+	}
+	plan := &core.SubPlan{Node: assign}
+	for t := range assign {
+		plan.Tasks = append(plan.Tasks, t)
+	}
+	plan.Tasks = batch.SortedCopy(plan.Tasks)
+	return plan, nil
+}
+
+// MapForWarmStart exposes the second-level mapping plus disk repair
+// for a caller-chosen sub-batch; the IP scheduler uses it to seed its
+// branch and bound with a feasible incumbent. An error is returned if
+// the repaired mapping does not cover every task in sub.
+func (s *Scheduler) MapForWarmStart(st *core.State, sub []batch.TaskID) (map[batch.TaskID]int, error) {
+	assign, err := s.mapTasks(st, sub)
+	if err != nil {
+		return nil, err
+	}
+	assign = s.repairDisk(st, sub, assign)
+	if len(assign) != len(sub) {
+		return nil, fmt.Errorf("bipart: repair dropped %d of %d tasks", len(sub)-len(assign), len(sub))
+	}
+	return assign, nil
+}
+
+// selectSubBatch runs the first-level BINW partition and returns the
+// sub-batch to execute now: the part with the highest total file
+// affinity to data already on the cluster (ties: lowest part id), so
+// warm copies get reused.
+func (s *Scheduler) selectSubBatch(st *core.State, pending []batch.TaskID) ([]batch.TaskID, error) {
+	b := st.P.Batch
+	agg := st.AggregateFree()
+	if b.TotalUniqueBytes(pending) <= agg {
+		return pending, nil // everything fits: one sub-batch
+	}
+	if s.GreedySubBatch {
+		return s.greedySubBatch(st, pending, agg), nil
+	}
+	h, _, files := buildHypergraph(st, pending, nil)
+	part, np, err := hypergraph.PartitionBINW(h, agg, s.BINWEpsilon, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if np == 1 {
+		return pending, nil
+	}
+	// Score each part by bytes of its files already resident on the
+	// compute cluster.
+	scores := make([]int64, np)
+	counted := make(map[[2]int]bool)
+	for n := 0; n < h.NumN; n++ {
+		f := files[n]
+		resident := len(st.Holders(f)) > 0
+		if !resident {
+			continue
+		}
+		for _, v := range h.NetPins(n) {
+			key := [2]int{n, part[v]}
+			if !counted[key] {
+				counted[key] = true
+				scores[part[v]] += b.FileSize(f)
+			}
+		}
+	}
+	best := 0
+	for p := 1; p < np; p++ {
+		if scores[p] > scores[best] {
+			best = p
+		}
+	}
+	var sub []batch.TaskID
+	for v, p := range part {
+		if p == best {
+			sub = append(sub, pending[v])
+		}
+	}
+	return sub, nil
+}
+
+// greedySubBatch is the ablation alternative to BINW: pack tasks in
+// ascending new-bytes order until the aggregate free disk is full.
+func (s *Scheduler) greedySubBatch(st *core.State, pending []batch.TaskID, agg int64) []batch.TaskID {
+	b := st.P.Batch
+	seen := make(map[batch.FileID]bool)
+	var used int64
+	var sub []batch.TaskID
+	remaining := append([]batch.TaskID(nil), pending...)
+	for len(remaining) > 0 {
+		bestIdx := -1
+		var bestNew int64
+		for idx, t := range remaining {
+			var nb int64
+			for _, f := range b.Tasks[t].Files {
+				if !seen[f] {
+					nb += b.FileSize(f)
+				}
+			}
+			if bestIdx < 0 || nb < bestNew {
+				bestIdx, bestNew = idx, nb
+			}
+		}
+		if used+bestNew > agg {
+			break
+		}
+		t := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		used += bestNew
+		sub = append(sub, t)
+		for _, f := range b.Tasks[t].Files {
+			seen[f] = true
+		}
+	}
+	if len(sub) == 0 && len(pending) > 0 {
+		sub = pending[:1]
+	}
+	return batch.SortedCopy(sub)
+}
+
+// mapTasks runs the second-level K-way partition on the sub-batch.
+func (s *Scheduler) mapTasks(st *core.State, sub []batch.TaskID) (map[batch.TaskID]int, error) {
+	K := st.P.Platform.NumCompute()
+	weights := s.vertexWeights(st, sub)
+	h, _, _ := buildHypergraph(st, sub, weights)
+	part, err := hypergraph.PartitionKWay(h, K, s.Epsilon, s.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	assign := make(map[batch.TaskID]int, len(sub))
+	for v, t := range sub {
+		assign[t] = part[v]
+	}
+	return assign, nil
+}
+
+// vertexWeights computes the Eq. 25–26 expected execution times of the
+// sub-batch tasks, scaled to int64 microseconds for the partitioner.
+func (s *Scheduler) vertexWeights(st *core.State, sub []batch.TaskID) []int64 {
+	p := st.P
+	b := p.Batch
+	K := float64(p.Platform.NumCompute())
+	T := float64(len(sub))
+	BWs := p.Platform.MinRemoteBW()
+	BWc := p.Platform.MinReplicaBW()
+	if p.DisableReplication {
+		BWc = BWs
+	}
+	// sharers within the sub-batch
+	sj := make(map[batch.FileID]int)
+	for _, t := range sub {
+		for _, f := range b.Tasks[t].Files {
+			sj[f]++
+		}
+	}
+	out := make([]int64, len(sub))
+	for i, t := range sub {
+		task := &b.Tasks[t]
+		var exec float64
+		bytes := b.TaskBytes(t)
+		var cPerByte float64
+		if bytes > 0 {
+			cPerByte = task.Compute / float64(bytes)
+		}
+		for _, f := range task.Files {
+			size := float64(b.FileSize(f))
+			if s.UseComputeWeightsOnly {
+				exec += size * cPerByte
+				continue
+			}
+			sjf := float64(sj[f])
+			probFNE := 1.0 / sjf
+			probFE := (sjf / math.Max(T, 1)) * (1 / K)
+			tr := probFNE/BWs + (1-probFNE)*(1-probFE)/math.Min(BWs, BWc)
+			exec += size * (tr + 1/p.Platform.Compute[0].LocalReadBW + cPerByte)
+		}
+		out[i] = int64(exec * 1e6)
+		if out[i] <= 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// repairDisk enforces per-node capacity (§5.3): for each over-full
+// node, newly staged files are removed in increasing sharer count
+// until the node fits, and tasks missing a removed file are dropped
+// from the plan.
+func (s *Scheduler) repairDisk(st *core.State, sub []batch.TaskID, assign map[batch.TaskID]int) map[batch.TaskID]int {
+	b := st.P.Batch
+	K := st.P.Platform.NumCompute()
+	// sharers within the sub-batch
+	sj := make(map[batch.FileID]int)
+	for _, t := range sub {
+		for _, f := range b.Tasks[t].Files {
+			sj[f]++
+		}
+	}
+	for i := 0; i < K; i++ {
+		// Files to stage on node i.
+		newFiles := make(map[batch.FileID]bool)
+		for t, n := range assign {
+			if n != i {
+				continue
+			}
+			for _, f := range b.Tasks[t].Files {
+				if !st.Holds(i, f) {
+					newFiles[f] = true
+				}
+			}
+		}
+		var need int64
+		var list []batch.FileID
+		for f := range newFiles {
+			need += b.FileSize(f)
+			list = append(list, f)
+		}
+		free := st.Free(i)
+		if need <= free {
+			continue
+		}
+		sort.Slice(list, func(a, z int) bool {
+			if sj[list[a]] != sj[list[z]] {
+				return sj[list[a]] < sj[list[z]]
+			}
+			return list[a] < list[z]
+		})
+		removed := make(map[batch.FileID]bool)
+		for _, f := range list {
+			if need <= free {
+				break
+			}
+			removed[f] = true
+			need -= b.FileSize(f)
+		}
+		if len(removed) == 0 {
+			continue
+		}
+		for t, n := range assign {
+			if n != i {
+				continue
+			}
+			for _, f := range b.Tasks[t].Files {
+				if removed[f] {
+					delete(assign, t)
+					break
+				}
+			}
+		}
+	}
+	return assign
+}
+
+// fallbackSingle places one pending task on the node where it fits
+// with the most free space, or returns an empty map when impossible.
+func (s *Scheduler) fallbackSingle(st *core.State, pending []batch.TaskID) map[batch.TaskID]int {
+	b := st.P.Batch
+	for _, t := range pending {
+		best, bestFree := -1, int64(-1)
+		for i := 0; i < st.P.Platform.NumCompute(); i++ {
+			var need int64
+			for _, f := range b.Tasks[t].Files {
+				if !st.Holds(i, f) {
+					need += b.FileSize(f)
+				}
+			}
+			if free := st.Free(i); need <= free && free > bestFree {
+				best, bestFree = i, free
+			}
+		}
+		if best >= 0 {
+			return map[batch.TaskID]int{t: best}
+		}
+	}
+	return nil
+}
+
+// buildHypergraph constructs the task/file hypergraph of the given
+// tasks. When weights is nil, vertex weights default to scaled compute
+// times. It returns the hypergraph, the vertex→task mapping (identical
+// to the input slice) and the net→file mapping.
+func buildHypergraph(st *core.State, tasks []batch.TaskID, weights []int64) (*hypergraph.Hypergraph, []batch.TaskID, []batch.FileID) {
+	b := st.P.Batch
+	hb := hypergraph.NewBuilder()
+	index := make(map[batch.TaskID]int, len(tasks))
+	for i, t := range tasks {
+		w := int64(b.Tasks[t].Compute * 1e6)
+		if weights != nil {
+			w = weights[i]
+		}
+		if w <= 0 {
+			w = 1
+		}
+		hb.AddVertex(w)
+		index[t] = i
+	}
+	// Nets: files accessed by ≥1 of these tasks.
+	netOf := make(map[batch.FileID][]int)
+	for _, t := range tasks {
+		for _, f := range b.Tasks[t].Files {
+			netOf[f] = append(netOf[f], index[t])
+		}
+	}
+	var files []batch.FileID
+	for f := range netOf {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(a, z int) bool { return files[a] < files[z] })
+	for _, f := range files {
+		hb.AddNet(b.FileSize(f), netOf[f])
+	}
+	h, err := hb.Build()
+	if err != nil {
+		panic(err) // inputs are pre-validated
+	}
+	return h, tasks, files
+}

@@ -1,0 +1,127 @@
+package jdp
+
+import (
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func state(t *testing.T, b *batch.Batch, compute int, disk int64) *core.State {
+	t.Helper()
+	p := &core.Problem{Batch: b, Platform: platform.XIO(compute, 2, disk)}
+	st, err := core.NewState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestJobDataPresentFavorsDataLocality(t *testing.T) {
+	b := batch.New()
+	f := b.AddFile("hot", 100*platform.MB, 0)
+	b.AddTask("t", 0.01, []batch.FileID{f})
+	st := state(t, b, 3, 0)
+	if err := st.AddFile(2, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := New().PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Node[0] != 2 {
+		t.Fatalf("task routed to node %d, want 2 (holds the data)", plan.Node[0])
+	}
+}
+
+func TestDaemonReplicatesPopularFiles(t *testing.T) {
+	// One file needed by many pending tasks: the DataLeastLoaded
+	// daemon must schedule a pre-stage replica.
+	b := batch.New()
+	f := b.AddFile("hot", 10*platform.MB, 0)
+	priv := b.AddFile("cold", 10*platform.MB, 1)
+	for i := 0; i < 10; i++ {
+		b.AddTask("", 0.5, []batch.FileID{f})
+	}
+	b.AddTask("solo", 0.5, []batch.FileID{priv})
+	st := state(t, b, 3, 0)
+	s := New()
+	plan, err := s.PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundHot := false
+	for _, op := range plan.PreStage {
+		if op.File == f {
+			foundHot = true
+		}
+		if op.File == priv {
+			t.Error("unpopular file replicated by the daemon")
+		}
+	}
+	if !foundHot {
+		t.Error("popular file not replicated by the daemon")
+	}
+}
+
+func TestDaemonRespectsCap(t *testing.T) {
+	b := workload.Random(2, 40, 10, 3, 2, 10*platform.MB, platform.PaperComputeFactor)
+	st := state(t, b, 3, 0)
+	s := New()
+	s.MaxReplicasPerRound = 2
+	plan, err := s.PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PreStage) > 2 {
+		t.Fatalf("daemon staged %d replicas, cap 2", len(plan.PreStage))
+	}
+}
+
+func TestNoDaemonWhenReplicationDisabled(t *testing.T) {
+	b := workload.Random(3, 30, 10, 3, 2, 10*platform.MB, platform.PaperComputeFactor)
+	p := &core.Problem{Batch: b, Platform: platform.XIO(3, 2, 0), DisableReplication: true}
+	st, err := core.NewState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := New().PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PreStage) != 0 {
+		t.Fatalf("daemon ran with replication disabled: %d ops", len(plan.PreStage))
+	}
+}
+
+func TestAllTasksPlannedUnlimited(t *testing.T) {
+	b := workload.Random(4, 25, 40, 4, 2, 10*platform.MB, platform.PaperComputeFactor)
+	st := state(t, b, 4, 0)
+	plan, err := New().PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 25 {
+		t.Fatalf("planned %d of 25", len(plan.Tasks))
+	}
+}
+
+func TestLeastLoadedTieBreak(t *testing.T) {
+	// No data anywhere: staging cost equal on all nodes, so tasks must
+	// spread by load rather than pile on node 0.
+	b := workload.Random(5, 12, 24, 2, 2, 10*platform.MB, platform.PaperComputeFactor)
+	st := state(t, b, 3, 0)
+	plan, err := New().PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]int{}
+	for _, n := range plan.Node {
+		nodes[n]++
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("no load spreading: %v", nodes)
+	}
+}

@@ -1,0 +1,187 @@
+// Package minmin implements the paper's first baseline: MinMin task
+// scheduling with implicit replication (§3, after Maheswaran et al.).
+//
+// At every step the algorithm computes, for each unscheduled task, its
+// minimum expected completion time (MCT) over all compute nodes —
+// accounting for the files each node already holds, files that earlier
+// decisions in this plan will have staged, and the cheaper
+// compute-to-compute path for files held anywhere in the cluster — and
+// schedules the task whose minimum MCT is smallest on its best node.
+// Staging every input file of a scheduled task onto its node creates
+// copies implicitly, which later tasks exploit: the paper's "implicit
+// replication policy".
+//
+// Disk space is respected while planning: when no remaining task fits
+// anywhere, the sub-batch closes, and the popularity eviction policy
+// (§4.3) frees space before the next round, exactly as the paper
+// integrates it with MinMin.
+package minmin
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/eviction"
+)
+
+// Scheduler is the MinMin baseline. The zero value is ready to use.
+type Scheduler struct{}
+
+// New returns a MinMin scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return "MinMin" }
+
+// Evict implements core.Scheduler using the §4.3 popularity policy.
+func (s *Scheduler) Evict(st *core.State, pending []batch.TaskID) {
+	eviction.Popularity(st, pending)
+}
+
+// PlanSubBatch implements core.Scheduler.
+func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	p := st.P
+	b := p.Batch
+	C := p.Platform.NumCompute()
+
+	// Working copies of the cluster file state as this plan unfolds.
+	holds := st.PresentMatrix()
+	free := make([]int64, C)
+	ready := make([]float64, C)
+	for i := 0; i < C; i++ {
+		free[i] = st.Free(i)
+	}
+	anyCopy := make([]bool, b.NumFiles())
+	for f := 0; f < b.NumFiles(); f++ {
+		for i := 0; i < C; i++ {
+			if holds[i][f] {
+				anyCopy[f] = true
+				break
+			}
+		}
+	}
+
+	bwRemote := make([]float64, C) // per-node min remote bandwidth
+	for i := 0; i < C; i++ {
+		bw := math.Inf(1)
+		for sn := range p.Platform.Storage {
+			bw = math.Min(bw, p.Platform.RemoteBW(sn, i))
+		}
+		bwRemote[i] = bw
+	}
+	bwReplica := p.Platform.MinReplicaBW()
+
+	// ect estimates task k's completion on node i given current plan
+	// state; extra reports the new bytes the node must hold.
+	ect := func(k batch.TaskID, i int) (float64, int64) {
+		t := &b.Tasks[k]
+		stage := 0.0
+		var extra int64
+		var bytes int64
+		for _, f := range t.Files {
+			size := b.FileSize(f)
+			bytes += size
+			if holds[i][f] {
+				continue
+			}
+			extra += size
+			if anyCopy[f] && !p.DisableReplication {
+				stage += float64(size) / bwReplica
+			} else {
+				stage += float64(size) / bwRemote[i]
+			}
+		}
+		exec := float64(bytes)/p.Platform.Compute[i].LocalReadBW + t.Compute
+		return ready[i] + stage + exec, extra
+	}
+
+	plan := &core.SubPlan{Node: make(map[batch.TaskID]int)}
+	unsched := append([]batch.TaskID(nil), pending...)
+
+	// mct[idx][i] caches the completion estimate of unsched[idx] on
+	// node i; only the column of the node that changed is refreshed
+	// after each assignment.
+	mct := make([][]float64, len(unsched))
+	fit := make([][]bool, len(unsched))
+	for idx, k := range unsched {
+		mct[idx] = make([]float64, C)
+		fit[idx] = make([]bool, C)
+		for i := 0; i < C; i++ {
+			e, extra := ect(k, i)
+			mct[idx][i] = e
+			fit[idx][i] = extra <= free[i]
+		}
+	}
+	done := make([]bool, len(unsched))
+	remaining := len(unsched)
+
+	for remaining > 0 {
+		bestIdx, bestNode := -1, -1
+		bestT := math.Inf(1)
+		for idx := range unsched {
+			if done[idx] {
+				continue
+			}
+			for i := 0; i < C; i++ {
+				if fit[idx][i] && mct[idx][i] < bestT {
+					bestT = mct[idx][i]
+					bestIdx, bestNode = idx, i
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // nothing fits: close the sub-batch
+		}
+		k := unsched[bestIdx]
+		done[bestIdx] = true
+		remaining--
+		plan.Tasks = append(plan.Tasks, k)
+		plan.Node[k] = bestNode
+		// Stage the task's files (implicit replication) and occupy the
+		// node.
+		e, extra := ect(k, bestNode)
+		ready[bestNode] = e
+		free[bestNode] -= extra
+		firstCopy := make(map[batch.FileID]bool)
+		for _, f := range b.Tasks[k].Files {
+			if !holds[bestNode][f] {
+				if !anyCopy[f] {
+					firstCopy[f] = true
+				}
+				holds[bestNode][f] = true
+				anyCopy[f] = true
+			}
+		}
+		// Refresh the changed node's column for everyone; tasks that
+		// share a file which just gained its first cluster copy see a
+		// cheaper replica path on every node, so refresh those rows
+		// fully.
+		for idx, kk := range unsched {
+			if done[idx] {
+				continue
+			}
+			full := false
+			for _, f := range b.Tasks[kk].Files {
+				if firstCopy[f] {
+					full = true
+					break
+				}
+			}
+			lo, hi := bestNode, bestNode
+			if full {
+				lo, hi = 0, C-1
+			}
+			for i := lo; i <= hi; i++ {
+				ee, ex := ect(kk, i)
+				mct[idx][i] = ee
+				fit[idx][i] = ex <= free[i]
+			}
+		}
+	}
+	if len(plan.Tasks) == 0 {
+		return nil, fmt.Errorf("minmin: no pending task fits any node (pending %d)", len(pending))
+	}
+	return plan, nil
+}

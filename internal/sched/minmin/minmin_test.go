@@ -1,0 +1,133 @@
+package minmin
+
+import (
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func state(t *testing.T, b *batch.Batch, compute int, disk int64) *core.State {
+	t.Helper()
+	p := &core.Problem{Batch: b, Platform: platform.XIO(compute, 2, disk)}
+	st, err := core.NewState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPlanCoversEverythingWhenDiskUnlimited(t *testing.T) {
+	b := workload.Random(1, 20, 30, 4, 2, 10*platform.MB, platform.PaperComputeFactor)
+	st := state(t, b, 3, 0)
+	s := New()
+	plan, err := s.PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 20 {
+		t.Fatalf("planned %d of 20 tasks", len(plan.Tasks))
+	}
+	if plan.Pinned {
+		t.Fatal("MinMin plans must not be pinned")
+	}
+	for _, k := range plan.Tasks {
+		if n, ok := plan.Node[k]; !ok || n < 0 || n >= 3 {
+			t.Fatalf("task %d mapped to %d", k, n)
+		}
+	}
+}
+
+func TestRespectsDiskWhenPlanning(t *testing.T) {
+	// Two nodes with room for ~3 files each; 10 tasks with one private
+	// file each: a single sub-batch cannot host everything.
+	b := batch.New()
+	var fs []batch.FileID
+	for i := 0; i < 10; i++ {
+		fs = append(fs, b.AddFile("", 10*platform.MB, 0))
+	}
+	for i := 0; i < 10; i++ {
+		b.AddTask("", 0.1, []batch.FileID{fs[i]})
+	}
+	st := state(t, b, 2, 30*platform.MB)
+	s := New()
+	plan, err := s.PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) == 0 || len(plan.Tasks) > 6 {
+		t.Fatalf("planned %d tasks with room for at most 6", len(plan.Tasks))
+	}
+	// Per-node staged bytes must fit.
+	load := map[int]int64{}
+	for _, k := range plan.Tasks {
+		load[plan.Node[k]] += b.TaskBytes(k)
+	}
+	for n, v := range load {
+		if v > 30*platform.MB {
+			t.Fatalf("node %d overcommitted: %d", n, v)
+		}
+	}
+}
+
+func TestPrefersNodeHoldingData(t *testing.T) {
+	// A shared file already on node 1: MinMin's MCT must route the
+	// task there (no staging cost) rather than node 0.
+	b := batch.New()
+	f := b.AddFile("hot", 100*platform.MB, 0)
+	b.AddTask("t", 0.01, []batch.FileID{f})
+	st := state(t, b, 2, 0)
+	if err := st.AddFile(1, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	plan, err := s.PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Node[0] != 1 {
+		t.Fatalf("task went to node %d, want 1 (data present)", plan.Node[0])
+	}
+}
+
+func TestImplicitReplicationSpreadsCopies(t *testing.T) {
+	// Many tasks sharing one file, tiny compute: MinMin balances load
+	// across nodes, so the shared file is staged onto several nodes —
+	// the "implicit replication" the paper names.
+	b := batch.New()
+	f := b.AddFile("hot", 50*platform.MB, 0)
+	for i := 0; i < 12; i++ {
+		b.AddTask("", 5.0 /* heavy compute forces spreading */, []batch.FileID{f})
+	}
+	st := state(t, b, 3, 0)
+	s := New()
+	plan, err := s.PlanSubBatch(st, b.AllTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]bool{}
+	for _, n := range plan.Node {
+		nodes[n] = true
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("all tasks on one node; expected spreading, got %v", plan.Node)
+	}
+}
+
+func TestErrorWhenNothingFits(t *testing.T) {
+	// A disk already stuffed with other data and no room for the
+	// pending task must produce an error rather than an empty plan.
+	b := batch.New()
+	blocker := b.AddFile("blocker", 90*platform.MB, 0)
+	f := b.AddFile("big", 50*platform.MB, 0)
+	b.AddTask("t", 1, []batch.FileID{f})
+	st := state(t, b, 1, 100*platform.MB)
+	if err := st.AddFile(0, blocker, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().PlanSubBatch(st, b.AllTasks()); err == nil {
+		t.Fatal("expected an error when no pending task fits")
+	}
+}

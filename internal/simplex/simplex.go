@@ -1,0 +1,378 @@
+// Package simplex implements a sparse revised simplex solver for
+// linear programs with bounded variables:
+//
+//	min  cᵀx
+//	s.t. Ax = b,  l ≤ x ≤ u   (entries of l may be -Inf, of u +Inf)
+//
+// It is the linear-programming engine underneath internal/mip, which
+// together replace the paper's external lp_solve dependency. The
+// implementation is a textbook two-phase bounded-variable revised
+// simplex with a product-form-of-the-inverse (eta file) basis
+// representation, periodic refactorization, Dantzig pricing with a
+// Bland anti-cycling fallback, and a two-sided ratio test with bound
+// flips.
+//
+// Inequality rows are handled by the caller (internal/mip) by adding
+// slack columns; this package deals only with the equality standard
+// form above.
+package simplex
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Entry is one nonzero of a sparse column.
+type Entry struct {
+	Row int32
+	Val float64
+}
+
+// LP is a linear program in equality standard form. All slices are
+// indexed by column except B, indexed by row.
+type LP struct {
+	NumRows int
+	Cost    []float64
+	Lower   []float64
+	Upper   []float64
+	B       []float64
+	Cols    [][]Entry
+}
+
+// NumCols returns the number of structural columns.
+func (lp *LP) NumCols() int { return len(lp.Cols) }
+
+// Validate checks structural consistency.
+func (lp *LP) Validate() error {
+	n := lp.NumCols()
+	if len(lp.Cost) != n || len(lp.Lower) != n || len(lp.Upper) != n {
+		return fmt.Errorf("simplex: cost/bound slices disagree with %d columns", n)
+	}
+	if len(lp.B) != lp.NumRows {
+		return fmt.Errorf("simplex: rhs has %d entries for %d rows", len(lp.B), lp.NumRows)
+	}
+	for j, col := range lp.Cols {
+		if lp.Lower[j] > lp.Upper[j] {
+			return fmt.Errorf("simplex: column %d has crossed bounds [%g,%g]", j, lp.Lower[j], lp.Upper[j])
+		}
+		for _, e := range col {
+			if int(e.Row) < 0 || int(e.Row) >= lp.NumRows {
+				return fmt.Errorf("simplex: column %d references row %d of %d", j, e.Row, lp.NumRows)
+			}
+			if e.Val == 0 || math.IsNaN(e.Val) || math.IsInf(e.Val, 0) {
+				return fmt.Errorf("simplex: column %d has invalid coefficient %g", j, e.Val)
+			}
+		}
+	}
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+	Singular
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	case Singular:
+		return "singular-basis"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options tunes the solver. Zero values select defaults.
+type Options struct {
+	// MaxIters caps total simplex iterations (default 20000 + 50·rows).
+	MaxIters int
+	// RefactorEvery rebuilds the eta file after this many pivots
+	// (default 120).
+	RefactorEvery int
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+	// Deadline, when nonzero, aborts the solve with IterLimit status
+	// once passed (checked every few iterations).
+	Deadline time.Time
+	// Trace, when non-nil, receives a line per pivot (debugging).
+	Trace func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults(rows int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 20000 + 50*rows
+	}
+	if o.RefactorEvery == 0 {
+		o.RefactorEvery = 120
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	// Obj is the objective value of X (meaningful for Optimal and
+	// IterLimit — for the latter it is the best feasible point reached
+	// if Phase 1 finished, else NaN).
+	Obj float64
+	// X holds the structural variable values.
+	X []float64
+	// Iters counts simplex iterations performed.
+	Iters int
+}
+
+// Solve optimizes the LP.
+func Solve(lp *LP, opt Options) (*Result, error) {
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(lp.NumRows)
+	s := newSolver(lp, opt)
+	return s.solve(), nil
+}
+
+// varState tracks where a column currently lives.
+type varState int8
+
+const (
+	atLower varState = iota
+	atUpper
+	inBasis
+)
+
+// eta is one elementary transformation of the product-form inverse:
+// the basis changed by bringing a column whose FTRANed form is w with
+// pivot row p.
+type eta struct {
+	pivot int32
+	col   []Entry // includes the pivot entry
+}
+
+type solver struct {
+	lp  *LP
+	opt Options
+
+	m, n  int // rows, total columns incl. artificials
+	cost  []float64
+	lower []float64
+	upper []float64
+	cols  [][]Entry
+
+	state []varState
+	basic []int32   // basic[r] = column basic in row r
+	inRow []int32   // inRow[j] = row of basic column j, -1 otherwise
+	xB    []float64 // values of basic columns by row
+
+	etas       []eta
+	iters      int
+	phase      int
+	nArt       int
+	stallCount int
+	priceStart int
+
+	// scratch
+	w  []float64
+	y  []float64
+	wN []int32 // nonzero pattern scratch
+}
+
+func newSolver(lp *LP, opt Options) *solver {
+	m := lp.NumRows
+	n := lp.NumCols()
+	s := &solver{lp: lp, opt: opt, m: m}
+	total := n + m // reserve artificials
+	s.cost = make([]float64, total)
+	s.lower = make([]float64, total)
+	s.upper = make([]float64, total)
+	s.cols = make([][]Entry, total)
+	copy(s.cost, lp.Cost)
+	copy(s.lower, lp.Lower)
+	copy(s.upper, lp.Upper)
+	copy(s.cols, lp.Cols)
+	s.n = n
+	s.state = make([]varState, total)
+	s.basic = make([]int32, m)
+	s.inRow = make([]int32, total)
+	for j := range s.inRow {
+		s.inRow[j] = -1
+	}
+	s.xB = make([]float64, m)
+	s.w = make([]float64, m)
+	s.y = make([]float64, m)
+	return s
+}
+
+// start initializes an all-artificial basis: every structural column
+// rests at its finite bound nearest zero (free columns at 0), and an
+// artificial per row absorbs the residual.
+func (s *solver) start() {
+	for j := 0; j < s.n; j++ {
+		switch {
+		case s.lower[j] > math.Inf(-1):
+			s.state[j] = atLower
+		case s.upper[j] < math.Inf(1):
+			s.state[j] = atUpper
+		default:
+			// Free variable: encode "at value 0" by temporarily
+			// treating it as at a pseudo-lower bound of 0; the bound
+			// arrays keep -Inf so the ratio test never flips it.
+			s.state[j] = atLower
+		}
+	}
+	resid := make([]float64, s.m)
+	copy(resid, s.lp.B)
+	for j := 0; j < s.n; j++ {
+		v := s.valueAtBound(j)
+		if v == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			resid[e.Row] -= e.Val * v
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		// Artificial columns always carry coefficient +1 so the
+		// initial basis is exactly the identity (the empty eta file);
+		// a negative residual is absorbed by letting the artificial
+		// range below zero, with a signed phase-1 cost so that
+		// minimizing still drives |a| to 0.
+		j := s.n + r
+		s.cols[j] = []Entry{{Row: int32(r), Val: 1}}
+		if resid[r] >= 0 {
+			s.lower[j] = 0
+			s.upper[j] = math.Inf(1)
+		} else {
+			s.lower[j] = math.Inf(-1)
+			s.upper[j] = 0
+		}
+		s.cost[j] = 0
+		s.state[j] = inBasis
+		s.basic[r] = int32(j)
+		s.inRow[j] = int32(r)
+		s.xB[r] = resid[r]
+	}
+	s.nArt = s.m
+	s.n += s.m
+}
+
+// valueAtBound returns the current value of nonbasic column j.
+func (s *solver) valueAtBound(j int) float64 {
+	switch s.state[j] {
+	case atLower:
+		if math.IsInf(s.lower[j], -1) {
+			return 0
+		}
+		return s.lower[j]
+	case atUpper:
+		if math.IsInf(s.upper[j], 1) {
+			return 0
+		}
+		return s.upper[j]
+	}
+	panic("simplex: valueAtBound on basic column")
+}
+
+func (s *solver) solve() *Result {
+	s.start()
+	// Phase 1: minimize the sum of artificial magnitudes (+a for
+	// artificials bounded below by 0, −a for those bounded above by 0).
+	phase1Cost := make([]float64, s.n)
+	for r := 0; r < s.m; r++ {
+		j := s.lp.NumCols() + r
+		if math.IsInf(s.lower[j], -1) {
+			phase1Cost[j] = -1
+		} else {
+			phase1Cost[j] = 1
+		}
+	}
+	saved := s.cost
+	s.cost = phase1Cost
+	s.phase = 1
+	st := s.iterate()
+	if st == IterLimit {
+		return &Result{Status: IterLimit, Obj: math.NaN(), X: s.extractX(), Iters: s.iters}
+	}
+	if st == Singular {
+		return &Result{Status: Singular, Obj: math.NaN(), Iters: s.iters}
+	}
+	if s.objective() > s.opt.Tol*float64(1+s.m) {
+		return &Result{Status: Infeasible, Obj: math.NaN(), Iters: s.iters}
+	}
+	// Pin artificials to zero and restore the real objective.
+	for r := 0; r < s.m; r++ {
+		j := s.lp.NumCols() + r
+		s.lower[j] = 0
+		s.upper[j] = 0
+		if s.state[j] == atUpper {
+			s.state[j] = atLower // both bounds are 0 now
+		}
+	}
+	s.cost = saved
+	// saved has length total; it was allocated that long in newSolver.
+	s.phase = 2
+	st = s.iterate()
+	res := &Result{Status: st, Iters: s.iters, X: s.extractX()}
+	res.Obj = s.structuralObjective()
+	if st == Unbounded {
+		res.Obj = math.Inf(-1)
+	}
+	return res
+}
+
+// objective returns cᵀx under the current (possibly phase-1) cost.
+func (s *solver) objective() float64 {
+	var obj float64
+	for j := 0; j < s.n; j++ {
+		if s.state[j] != inBasis {
+			obj += s.cost[j] * s.valueAtBound(j)
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		obj += s.cost[s.basic[r]] * s.xB[r]
+	}
+	return obj
+}
+
+// structuralObjective evaluates the original cost on the structural
+// columns only.
+func (s *solver) structuralObjective() float64 {
+	x := s.extractX()
+	var obj float64
+	for j := range x {
+		obj += s.lp.Cost[j] * x[j]
+	}
+	return obj
+}
+
+func (s *solver) extractX() []float64 {
+	x := make([]float64, s.lp.NumCols())
+	for j := range x {
+		if s.state[j] != inBasis {
+			x[j] = s.valueAtBound(j)
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		if int(s.basic[r]) < len(x) {
+			x[s.basic[r]] = s.xB[r]
+		}
+	}
+	return x
+}
