@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench bench-parallel figures clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel solver core (mip portfolio, concurrent hypergraph
+# recursion, experiment fan-out) makes the race detector part of the
+# repository's tier-1 verification, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Just the workers=1 vs workers=N scaling benches.
+bench-parallel:
+	$(GO) test -bench='BenchmarkMIPSolve|BenchmarkKWayPartition|BenchmarkFig3Workers' -benchmem
+
+figures:
+	$(GO) run ./cmd/paperfigs -quick
+
+clean:
+	$(GO) clean ./...

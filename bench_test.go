@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -196,6 +197,108 @@ func BenchmarkAblationRefinement(b *testing.B) {
 				cost = h.ConnectivityCost(part)
 			}
 			b.ReportMetric(float64(cost), "connectivity-1")
+		})
+	}
+}
+
+// --- Parallel-core scaling benches ------------------------------------
+//
+// Workers=1 is the sequential baseline; higher counts measure the
+// portfolio / concurrent-recursion speedup. On a single-core runner
+// the sub-benchmarks coincide (GOMAXPROCS gates real parallelism) but
+// they still exercise — and alloc-profile — the concurrent paths.
+
+var workerCounts = []int{1, 2, 4}
+
+// BenchmarkMIPSolve measures the branch-and-bound portfolio on a
+// makespan-minimization assignment model at each worker count.
+func BenchmarkMIPSolve(b *testing.B) {
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m := benchAssignmentModel(14, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := m.Solve(mip.Options{NodeLimit: 50000, Workers: w})
+				if err != nil || sol.Status == mip.NoSolution {
+					b.Fatalf("status %v err %v", sol.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// benchAssignmentModel builds a tasks×nodes makespan model (the shape
+// of the stage-2 IP's core) for the solver benches.
+func benchAssignmentModel(tasks, nodes int) *mip.Model {
+	rng := rand.New(rand.NewSource(21))
+	m := mip.NewModel()
+	z := m.AddVar("z", 0, 1e18, 1, false)
+	for k := 0; k < tasks; k++ {
+		var row []mip.Term
+		for i := 0; i < nodes; i++ {
+			v := m.AddBinary("x", 0)
+			row = append(row, mip.Term{Var: v, Coef: 1})
+		}
+		m.AddRow("assign", row, mip.EQ, 1)
+	}
+	for i := 0; i < nodes; i++ {
+		terms := []mip.Term{{Var: z, Coef: -1}}
+		for k := 0; k < tasks; k++ {
+			terms = append(terms, mip.Term{Var: 1 + k*nodes + i, Coef: 1 + rng.Float64()*4})
+		}
+		m.AddRow("load", terms, mip.LE, 0)
+	}
+	return m
+}
+
+// BenchmarkKWayPartition measures the recursive K-way partitioner at
+// each worker count on a 2000-vertex hypergraph.
+func BenchmarkKWayPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	hb := hypergraph.NewBuilder()
+	for i := 0; i < 2000; i++ {
+		hb.AddVertex(1 + int64(rng.Intn(10)))
+	}
+	for n := 0; n < 3000; n++ {
+		size := 2 + rng.Intn(6)
+		pins := rng.Perm(2000)[:size]
+		hb.AddNet(1+int64(rng.Intn(100)), pins)
+	}
+	h, err := hb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hypergraph.PartitionKWayOpt(h, 16, hypergraph.KWayOptions{Eps: 0.1, Seed: 9, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Workers measures the figure harness fan-out (quick
+// Figure 3 without IP, so cells are cheap and the fan-out dominates).
+func BenchmarkFig3Workers(b *testing.B) {
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := quickOpts()
+			o.SkipIP = true
+			o.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tables, err := experiments.Fig3(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) == 0 || len(tables[0].Rows) == 0 {
+					b.Fatal("empty figure")
+				}
+			}
 		})
 	}
 }

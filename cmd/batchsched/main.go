@@ -8,6 +8,13 @@
 //	           -platform xio|osumed -compute 4 -storage 4
 //	           -sched ip|bipartition|minmin|jdp [-disk-gb 40]
 //	           [-no-replication] [-ip-budget 20s] [-seed 1] [-v]
+//	           [-workers N]
+//
+// -workers sets the parallelism of the scheduler's solver (the IP
+// branch-and-bound portfolio, the hypergraph partitioner); 0 uses
+// every CPU, 1 forces the sequential solver. The schedule for a fixed
+// seed does not depend on the worker count (for the IP scheduler,
+// whenever its solves finish within budget).
 package main
 
 import (
@@ -40,6 +47,7 @@ func main() {
 	ipBudget := flag.Duration("ip-budget", 20*time.Second, "time budget per IP solve")
 	seed := flag.Int64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print workload statistics")
+	workers := flag.Int("workers", 0, "solver parallelism (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	var overlap workload.Overlap
@@ -85,9 +93,12 @@ func main() {
 		ip := ipsched.New(*seed)
 		ip.AllocBudget = *ipBudget
 		ip.SelectBudget = *ipBudget / 2
+		ip.Workers = *workers
 		sched = ip
 	case "bipartition", "bipart":
-		sched = bipart.New(*seed)
+		bp := bipart.New(*seed)
+		bp.Workers = *workers
+		sched = bp
 	case "minmin":
 		sched = minmin.New()
 	case "jdp", "jobdatapresent":

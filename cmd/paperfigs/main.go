@@ -6,7 +6,12 @@
 // Usage:
 //
 //	paperfigs [-fig 3|4|5a|5b|6|all] [-quick] [-ip-budget 20s]
-//	          [-skip-ip] [-seed N] [-csv dir]
+//	          [-skip-ip] [-seed N] [-csv dir] [-workers N]
+//
+// -workers fans the independent cells of each figure (and each
+// scheduler's internal solver) across N goroutines; 0 uses every CPU
+// and 1 reproduces the sequential run. Rows are identical for a given
+// seed regardless of the worker count.
 package main
 
 import (
@@ -28,9 +33,10 @@ func main() {
 	skipIP := flag.Bool("skip-ip", false, "omit the IP scheduler")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
+	workers := flag.Int("workers", 0, "parallel workers for figure cells and solvers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP}
+	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers}
 	runners := map[string]func(experiments.Options) ([]*report.Table, error){
 		"3": experiments.Fig3, "4": experiments.Fig4,
 		"5a": experiments.Fig5a, "5b": experiments.Fig5b,

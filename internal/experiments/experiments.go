@@ -40,6 +40,14 @@ type Options struct {
 	Seed int64
 	// SkipIP drops the IP scheduler from figures that include it.
 	SkipIP bool
+	// Workers bounds the parallelism of a figure run: the independent
+	// (row × scheduler) cells of each figure fan out across this many
+	// goroutines, and each scheduler's own solver (IP portfolio,
+	// hypergraph partitioner) inherits the same setting. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the fully sequential run.
+	// Table rows are merged in fixed order and every cell re-derives
+	// its inputs from Seed, so Workers never changes the rows.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,23 +80,42 @@ func run(p *core.Problem, s core.Scheduler) (*core.Result, error) {
 	return core.Run(p, s)
 }
 
+// schedSpec names one scheduler column and builds fresh instances of
+// it, so concurrent cells never share a scheduler value.
+type schedSpec struct {
+	name string
+	isIP bool
+	make func() core.Scheduler
+}
+
 // schedulerSet builds the figure-3/4 scheduler lineup.
-func schedulerSet(o Options) []core.Scheduler {
-	ss := []core.Scheduler{}
+func schedulerSet(o Options) []schedSpec {
+	ss := []schedSpec{}
 	if !o.SkipIP {
-		ip := ipsched.New(o.Seed + 100)
-		ip.AllocBudget = o.IPBudget
-		ip.SelectBudget = o.IPBudget / 2
-		ss = append(ss, ip)
+		ss = append(ss, schedSpec{name: "IP", isIP: true, make: func() core.Scheduler {
+			ip := ipsched.New(o.Seed + 100)
+			ip.AllocBudget = o.IPBudget
+			ip.SelectBudget = o.IPBudget / 2
+			ip.Workers = o.Workers
+			return ip
+		}})
 	}
-	ss = append(ss, bipart.New(o.Seed+200), minmin.New(), jdp.New())
+	ss = append(ss,
+		schedSpec{name: "BiPartition", make: func() core.Scheduler {
+			bp := bipart.New(o.Seed + 200)
+			bp.Workers = o.Workers
+			return bp
+		}},
+		schedSpec{name: "MinMin", make: func() core.Scheduler { return minmin.New() }},
+		schedSpec{name: "JobDataPresent", make: func() core.Scheduler { return jdp.New() }},
+	)
 	return ss
 }
 
-func columnNames(ss []core.Scheduler) []string {
+func columnNames(ss []schedSpec) []string {
 	names := make([]string, len(ss))
 	for i, s := range ss {
-		names[i] = s.Name()
+		names[i] = s.name
 	}
 	return names
 }
@@ -118,20 +145,32 @@ func overlapFigure(o Options, app string, pf func() *platform.Platform,
 		YLabel:  "batch execution time (s)",
 		Columns: columnNames(ss),
 	}
-	for _, ov := range []workload.Overlap{workload.HighOverlap, workload.MediumOverlap, workload.LowOverlap} {
+	overlaps := []workload.Overlap{workload.HighOverlap, workload.MediumOverlap, workload.LowOverlap}
+	vals := make([][]float64, len(overlaps))
+	for r := range vals {
+		vals[r] = make([]float64, len(ss))
+	}
+	// One cell per (overlap row × scheduler column); each regenerates
+	// its workload from the seed, so cells share no state.
+	err := forEachCell(o.Workers, len(overlaps)*len(ss), func(i int) error {
+		r, c := i/len(ss), i%len(ss)
+		ov := overlaps[r]
 		b, err := gen(ov)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vals := make([]float64, len(ss))
-		for i, s := range ss {
-			res, err := run(&core.Problem{Batch: b, Platform: pf()}, s)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%v: %w", app, s.Name(), ov, err)
-			}
-			vals[i] = res.Makespan
+		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make())
+		if err != nil {
+			return fmt.Errorf("%s/%s/%v: %w", app, ss[c].name, ov, err)
 		}
-		t.AddRow(ov.String(), vals...)
+		vals[r][c] = res.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, ov := range overlaps {
+		t.AddRow(ov.String(), vals[r]...)
 	}
 	if !o.SkipIP {
 		t.Notes = append(t.Notes, fmt.Sprintf("IP solves budgeted at %v per sub-batch (best incumbent used)", o.IPBudget))
@@ -188,10 +227,17 @@ func Fig5a(o Options) ([]*report.Table, error) {
 		YLabel:  "batch execution time (s)",
 		Columns: []string{"Replication", "NoReplication"},
 	}
-	for _, app := range []string{"IMAGE", "SAT"} {
+	apps := []string{"IMAGE", "SAT"}
+	vals := make([][]float64, len(apps))
+	for r := range vals {
+		vals[r] = make([]float64, 2)
+	}
+	// One cell per (application × replication mode).
+	err := forEachCell(o.Workers, len(apps)*2, func(i int) error {
+		r, c := i/2, i%2
 		var b *batch.Batch
 		var err error
-		if app == "IMAGE" {
+		if apps[r] == "IMAGE" {
 			// Four hot groups, as in the SAT workload: with more
 			// compute nodes (8) than hot spots, tasks sharing files
 			// necessarily span nodes and replication has room to help.
@@ -203,18 +249,22 @@ func Fig5a(o Options) ([]*report.Table, error) {
 			b, err = makeSat(o, n, 4, workload.HighOverlap)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := bipart.New(o.Seed + 300)
-		with, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0)}, s)
+		s.Workers = o.Workers
+		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		without, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: true}, s)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(app, with.Makespan, without.Makespan)
+		vals[r][c] = res.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, app := range apps {
+		t.AddRow(app, vals[r]...)
 	}
 	t.Notes = append(t.Notes, "scheduler: BiPartition; platform: 8 compute + 4 OSUMED storage nodes")
 	return []*report.Table{t}, nil
@@ -239,27 +289,44 @@ func Fig5b(o Options) ([]*report.Table, error) {
 		sizes = []int{50, 100, 200, 400}
 		disk /= 10
 	}
-	ss := []core.Scheduler{bipart.New(o.Seed + 400), minmin.New(), jdp.New()}
+	ss := []schedSpec{
+		{name: "BiPartition", make: func() core.Scheduler {
+			bp := bipart.New(o.Seed + 400)
+			bp.Workers = o.Workers
+			return bp
+		}},
+		{name: "MinMin", make: func() core.Scheduler { return minmin.New() }},
+		{name: "JobDataPresent", make: func() core.Scheduler { return jdp.New() }},
+	}
 	t := &report.Table{
 		Title:   "Fig 5(b) batch execution time vs batch size (IMAGE high overlap, limited disk)",
 		XLabel:  "tasks",
 		YLabel:  "batch execution time (s)",
 		Columns: columnNames(ss),
 	}
-	for _, n := range sizes {
+	vals := make([][]float64, len(sizes))
+	for r := range vals {
+		vals[r] = make([]float64, len(ss))
+	}
+	err := forEachCell(o.Workers, len(sizes)*len(ss), func(i int) error {
+		r, c := i/len(ss), i%len(ss)
+		n := sizes[r]
 		b, err := makeImage(o, n, 4, workload.HighOverlap)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vals := make([]float64, len(ss))
-		for i, s := range ss {
-			res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, s)
-			if err != nil {
-				return nil, fmt.Errorf("fig5b %s n=%d: %w", s.Name(), n, err)
-			}
-			vals[i] = res.Makespan
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make())
+		if err != nil {
+			return fmt.Errorf("fig5b %s n=%d: %w", ss[c].name, n, err)
 		}
-		t.AddRow(fmt.Sprintf("%d", n), vals...)
+		vals[r][c] = res.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, n := range sizes {
+		t.AddRow(fmt.Sprintf("%d", n), vals[r]...)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("per-node disk %.0f GB (see EXPERIMENTS.md calibration); IP omitted as in the paper (prohibitive scheduling overhead)", float64(disk)/float64(platform.GB)))
@@ -289,29 +356,40 @@ func Fig6(o Options) ([]*report.Table, error) {
 		YLabel:  "scheduling ms per task",
 		Columns: columnNames(ss),
 	}
-	for _, C := range nodes {
+	valsA := make([][]float64, len(nodes))
+	valsB := make([][]float64, len(nodes))
+	miss := make([][]bool, len(nodes))
+	for r := range nodes {
+		valsA[r] = make([]float64, len(ss))
+		valsB[r] = make([]float64, len(ss))
+		miss[r] = make([]bool, len(ss))
+	}
+	err := forEachCell(o.Workers, len(nodes)*len(ss), func(i int) error {
+		r, c := i/len(ss), i%len(ss)
+		C := nodes[r]
+		if ss[c].isIP && C > ipMaxNodes {
+			miss[r][c] = true
+			return nil
+		}
 		b, err := makeImage(o, n, 8, workload.HighOverlap)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		valsA := make([]float64, len(ss))
-		valsB := make([]float64, len(ss))
-		miss := make([]bool, len(ss))
-		for i, s := range ss {
-			if _, isIP := s.(*ipsched.Scheduler); isIP && C > ipMaxNodes {
-				miss[i] = true
-				continue
-			}
-			res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, s)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s C=%d: %w", s.Name(), C, err)
-			}
-			valsA[i] = res.Makespan
-			valsB[i] = res.SchedulingMSPerTask()
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make())
+		if err != nil {
+			return fmt.Errorf("fig6 %s C=%d: %w", ss[c].name, C, err)
 		}
+		valsA[r][c] = res.Makespan
+		valsB[r][c] = res.SchedulingMSPerTask()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, C := range nodes {
 		label := fmt.Sprintf("%d", C)
-		ta.AddRowMissing(label, valsA, append([]bool(nil), miss...))
-		tb.AddRowMissing(label, valsB, append([]bool(nil), miss...))
+		ta.AddRowMissing(label, valsA[r], miss[r])
+		tb.AddRowMissing(label, valsB[r], miss[r])
 	}
 	if !o.SkipIP {
 		note := fmt.Sprintf("IP measured only up to %d nodes (budget %v per solve); beyond that its overhead is prohibitive, as the paper reports", ipMaxNodes, o.IPBudget)

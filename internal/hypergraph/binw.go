@@ -3,6 +3,8 @@ package hypergraph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 )
 
 // PartitionBINW computes a Bounded Incident Net Weight partition
@@ -22,6 +24,34 @@ import (
 // The result maps each vertex to a part id in 0..numParts−1, ordered
 // so that part ids are dense.
 func PartitionBINW(h *Hypergraph, bound int64, eps float64, seed int64) ([]int, int, error) {
+	return PartitionBINWOpt(h, bound, BINWOptions{Eps: eps, Seed: seed})
+}
+
+// BINWOptions tunes PartitionBINWOpt.
+type BINWOptions struct {
+	// Eps is the per-bisection imbalance tolerance.
+	Eps float64
+	// Seed drives the randomized multilevel pipeline; per-branch RNG
+	// streams split deterministically from it, so the partition is
+	// independent of Workers.
+	Seed int64
+	// Workers bounds the goroutines used for the independent sub-
+	// bisections (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+}
+
+// binwLeaf is one finished part of the recursion: the original vertex
+// ids it holds plus its left/right descent path from the root. Part
+// ids are assigned by sorting leaves on that path, which reproduces
+// the sequential left-to-right numbering no matter how the concurrent
+// recursion interleaved.
+type binwLeaf struct {
+	path string
+	vids []int32
+}
+
+// PartitionBINWOpt is PartitionBINW with explicit options.
+func PartitionBINWOpt(h *Hypergraph, bound int64, opt BINWOptions) ([]int, int, error) {
 	if bound <= 0 {
 		return nil, 0, fmt.Errorf("hypergraph: BINW bound must be positive, got %d", bound)
 	}
@@ -29,14 +59,32 @@ func PartitionBINW(h *Hypergraph, bound int64, eps float64, seed int64) ([]int, 
 	if h.NumV == 0 {
 		return part, 0, nil
 	}
-	rng := rand.New(rand.NewSource(seed))
 	vid := make([]int32, h.NumV)
 	for i := range vid {
 		vid[i] = int32(i)
 	}
-	next := 0
-	recurseBINW(h, vid, bound, eps, rng, part, &next)
-	return part, next, nil
+	c := &binwCollector{}
+	pool := newWorkPool(opt.Workers)
+	recurseBINW(h, vid, bound, opt.Eps, opt.Seed, "", pool, c)
+	sort.Slice(c.leaves, func(i, j int) bool { return c.leaves[i].path < c.leaves[j].path })
+	for id, leaf := range c.leaves {
+		for _, v := range leaf.vids {
+			part[v] = id
+		}
+	}
+	return part, len(c.leaves), nil
+}
+
+// binwCollector accumulates leaves from concurrent recursion branches.
+type binwCollector struct {
+	mu     sync.Mutex
+	leaves []binwLeaf
+}
+
+func (c *binwCollector) add(path string, vids []int32) {
+	c.mu.Lock()
+	c.leaves = append(c.leaves, binwLeaf{path: path, vids: vids})
+	c.mu.Unlock()
 }
 
 // incidentTotal computes the incident net weight of the whole
@@ -52,15 +100,12 @@ func incidentTotal(h *Hypergraph) int64 {
 	return sum
 }
 
-func recurseBINW(h *Hypergraph, vid []int32, bound int64, eps float64, rng *rand.Rand, out []int, next *int) {
+func recurseBINW(h *Hypergraph, vid []int32, bound int64, eps float64, seed int64, path string, pool *workPool, c *binwCollector) {
 	if incidentTotal(h) <= bound || h.NumV == 1 {
-		id := *next
-		*next++
-		for _, v := range vid {
-			out[v] = id
-		}
+		c.add(path, vid)
 		return
 	}
+	rng := rand.New(rand.NewSource(splitSeed(seed, 2)))
 	side := multilevelBisect(h, balanceIncident, 0.5, eps, rng, false)
 	// Guard against a degenerate bisection leaving one side empty,
 	// which would recurse forever: peel off the heaviest vertex.
@@ -79,6 +124,8 @@ func recurseBINW(h *Hypergraph, vid []int32, bound int64, eps float64, rng *rand
 	}
 	h0, vid0 := extractSide(h, vid, side, 0)
 	h1, vid1 := extractSide(h, vid, side, 1)
-	recurseBINW(h0, vid0, bound, eps, rng, out, next)
-	recurseBINW(h1, vid1, bound, eps, rng, out, next)
+	pool.fork(
+		func() { recurseBINW(h0, vid0, bound, eps, splitSeed(seed, 0), path+"0", pool, c) },
+		func() { recurseBINW(h1, vid1, bound, eps, splitSeed(seed, 1), path+"1", pool, c) },
+	)
 }

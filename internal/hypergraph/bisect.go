@@ -144,7 +144,7 @@ func (b *bisection) growInitial(rng *rand.Rand) {
 	addNeighbors := func(v int) {
 		for _, n := range h.VertexNets(v) {
 			pins := h.NetPins(int(n))
-			s := float64(h.NWeight[n]) / float64(maxInt(1, len(pins)-1))
+			s := float64(h.NWeight[n]) / float64(max(1, len(pins)-1))
 			for _, u := range pins {
 				if !inZero[u] {
 					frontier[u] += s
@@ -156,8 +156,12 @@ func (b *bisection) growInitial(rng *rand.Rand) {
 	for w0 < b.target[0] {
 		var pick int32 = -1
 		bestG := -1.0
+		// Ties broken toward the smaller vertex id: map iteration order
+		// is randomized, and gain ties are common (equal-weight nets),
+		// so an order-dependent pick would make the whole partition
+		// nondeterministic.
 		for u, g := range frontier {
-			if g > bestG {
+			if g > bestG || (g == bestG && (pick < 0 || u < pick)) {
 				pick, bestG = u, g
 			}
 		}
@@ -315,11 +319,4 @@ func multilevelBisect(h *Hypergraph, mode balanceMode, targetFrac, eps float64, 
 		part = b.part
 	}
 	return part
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -17,11 +17,18 @@ func PartitionKWay(h *Hypergraph, k int, eps float64, seed int64) ([]int, error)
 type KWayOptions struct {
 	// Eps is the balance tolerance.
 	Eps float64
-	// Seed drives the randomized multilevel pipeline.
+	// Seed drives the randomized multilevel pipeline. The result is a
+	// pure function of (h, k, options): per-branch RNG streams are
+	// split deterministically from this seed, so Workers does not
+	// affect the partition.
 	Seed int64
 	// NoRefine disables FM refinement (coarsen + initial partition
 	// only), for the ablation bench.
 	NoRefine bool
+	// Workers bounds the goroutines used for the independent left and
+	// right sub-bisections of the recursion (0 = GOMAXPROCS, 1 =
+	// sequential).
+	Workers int
 }
 
 // PartitionKWayOpt is PartitionKWay with explicit options.
@@ -33,19 +40,21 @@ func PartitionKWayOpt(h *Hypergraph, k int, opt KWayOptions) ([]int, error) {
 	if k == 1 || h.NumV == 0 {
 		return part, nil
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	vid := make([]int32, h.NumV)
 	for i := range vid {
 		vid[i] = int32(i)
 	}
-	recurseKWay(h, vid, k, 0, opt.Eps, rng, part, opt.NoRefine)
+	pool := newWorkPool(opt.Workers)
+	recurseKWay(h, vid, k, 0, opt.Eps, opt.Seed, pool, part, opt.NoRefine)
 	return part, nil
 }
 
 // recurseKWay bisects h (whose vertices map to original ids via vid)
 // into ⌈k/2⌉ and ⌊k/2⌋ shares and recurses, writing final part labels
-// starting at base into out.
-func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, rng *rand.Rand, out []int, noRefine bool) {
+// starting at base into out. The two sub-recursions touch disjoint
+// vertex sets (hence disjoint out entries) and run concurrently when
+// the pool has a free worker.
+func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, seed int64, pool *workPool, out []int, noRefine bool) {
 	if k == 1 {
 		for _, v := range vid {
 			out[v] = base
@@ -69,11 +78,14 @@ func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, rng *rand
 	if k > 2 {
 		levelEps = eps / 1.5
 	}
+	rng := rand.New(rand.NewSource(splitSeed(seed, 2)))
 	side := multilevelBisect(h, balanceVertex, frac, levelEps, rng, noRefine)
 	h0, vid0 := extractSide(h, vid, side, 0)
 	h1, vid1 := extractSide(h, vid, side, 1)
-	recurseKWay(h0, vid0, k0, base, eps, rng, out, noRefine)
-	recurseKWay(h1, vid1, k1, base+k0, eps, rng, out, noRefine)
+	pool.fork(
+		func() { recurseKWay(h0, vid0, k0, base, eps, splitSeed(seed, 0), pool, out, noRefine) },
+		func() { recurseKWay(h1, vid1, k1, base+k0, eps, splitSeed(seed, 1), pool, out, noRefine) },
+	)
 }
 
 // extractSide builds the sub-hypergraph induced by vertices on the

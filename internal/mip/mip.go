@@ -9,6 +9,7 @@ package mip
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/simplex"
@@ -117,8 +118,16 @@ func (s Status) String() string {
 type Options struct {
 	// TimeLimit caps wall-clock solve time (0 = no limit).
 	TimeLimit time.Duration
-	// NodeLimit caps branch-and-bound nodes (0 = default 100000).
+	// NodeLimit caps branch-and-bound nodes per portfolio worker
+	// (0 = default 100000).
 	NodeLimit int
+	// Workers is the number of concurrent branch-and-bound dives the
+	// portfolio runs (0 = runtime.GOMAXPROCS(0), 1 = the sequential
+	// solver). Worker 0 follows the canonical most-fractional dive;
+	// the others use deterministically jittered branching orders, all
+	// sharing one incumbent bound, so within the same budget the
+	// portfolio's incumbent is never worse than the sequential one.
+	Workers int
 	// WarmStart, when non-nil, is a feasible assignment used as the
 	// initial incumbent (checked; ignored if infeasible).
 	WarmStart []float64
@@ -134,6 +143,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -151,9 +163,14 @@ type Solution struct {
 	Nodes int
 }
 
-// Solve runs branch and bound.
+// Solve runs branch and bound: a single depth-first dive when
+// Workers=1, otherwise a multi-start portfolio of concurrent dives
+// (see portfolio.go).
 func (m *Model) Solve(opt Options) (*Solution, error) {
 	opt = opt.withDefaults()
+	if opt.Workers > 1 {
+		return m.solvePortfolio(opt)
+	}
 	lp, err := m.toLP()
 	if err != nil {
 		return nil, err

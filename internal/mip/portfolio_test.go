@@ -1,0 +1,164 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomKnapsack builds a 0-1 knapsack with values/weights drawn from
+// the given seed. Random float coefficients make objective ties
+// measure-zero, so the optimum vector is unique.
+func randomKnapsack(seed int64, items int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	m.SetMaximize()
+	var terms []Term
+	var total float64
+	for j := 0; j < items; j++ {
+		m.AddBinary("x", 1+rng.Float64()*9)
+		w := 1 + rng.Float64()*5
+		total += w
+		terms = append(terms, Term{Var: j, Coef: w})
+	}
+	m.AddRow("cap", terms, LE, total*0.4)
+	return m
+}
+
+// randomAssignment builds a makespan-minimization assignment model
+// (tasks × nodes binaries plus a continuous makespan variable).
+func randomAssignment(seed int64, tasks, nodes int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	z := m.AddVar("z", 0, math.Inf(1), 1, false)
+	x := make([][]int, tasks)
+	loads := make([][]float64, tasks)
+	for k := range x {
+		x[k] = make([]int, nodes)
+		loads[k] = make([]float64, nodes)
+		var row []Term
+		for i := range x[k] {
+			x[k][i] = m.AddBinary("x", 0)
+			loads[k][i] = 1 + rng.Float64()*4
+			row = append(row, Term{Var: x[k][i], Coef: 1})
+		}
+		m.AddRow("assign", row, EQ, 1)
+	}
+	for i := 0; i < nodes; i++ {
+		terms := []Term{{Var: z, Coef: -1}}
+		for k := 0; k < tasks; k++ {
+			terms = append(terms, Term{Var: x[k][i], Coef: loads[k][i]})
+		}
+		m.AddRow("load", terms, LE, 0)
+	}
+	return m
+}
+
+// TestPortfolioMatchesSequentialOptimum proves the portfolio reaches
+// the same optimum as the sequential solver when both run to
+// completion, on a fixed instance set.
+func TestPortfolioMatchesSequentialOptimum(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		m := randomKnapsack(seed, 24)
+		seq, err := m.Solve(Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := m.Solve(Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Status != Optimal || par.Status != Optimal {
+			t.Fatalf("seed %d: status seq=%v par=%v", seed, seq.Status, par.Status)
+		}
+		if math.Abs(seq.Obj-par.Obj) > 1e-9 {
+			t.Fatalf("seed %d: obj seq=%v par=%v", seed, seq.Obj, par.Obj)
+		}
+		for j := range seq.X {
+			if math.Round(seq.X[j]) != math.Round(par.X[j]) {
+				t.Fatalf("seed %d: solutions differ at var %d", seed, j)
+			}
+		}
+	}
+}
+
+// TestPortfolioNeverWorseWithinBudget proves the parallel solve's
+// incumbent is never worse than the sequential one under the same
+// deterministic node budget: worker 0 runs the exact sequential dive,
+// so the merged incumbent can only improve on it.
+func TestPortfolioNeverWorseWithinBudget(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, build := range []func() *Model{
+			func() *Model { return randomKnapsack(seed*11, 40) },
+			func() *Model { return randomAssignment(seed*13, 12, 4) },
+		} {
+			m := build()
+			budget := Options{NodeLimit: 400}
+			seq, err := m.Solve(Options{NodeLimit: budget.NodeLimit, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := m.Solve(Options{NodeLimit: budget.NodeLimit, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Status == NoSolution {
+				continue // nothing to compare against
+			}
+			if par.Status == NoSolution {
+				t.Fatalf("seed %d: portfolio found nothing where sequential found %v", seed, seq.Obj)
+			}
+			// Internal direction is minimization for these models except
+			// the maximize knapsack; compare in model direction.
+			worse := par.Obj < seq.Obj-1e-9
+			if !m.maximize {
+				worse = par.Obj > seq.Obj+1e-9
+			}
+			if worse {
+				t.Errorf("seed %d: portfolio incumbent %v worse than sequential %v", seed, par.Obj, seq.Obj)
+			}
+		}
+	}
+}
+
+// TestPortfolioDeterministic runs the same parallel solve twice and
+// demands identical results: the merge is by worker index, not by
+// which goroutine finished first.
+func TestPortfolioDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		m := randomAssignment(seed*7, 10, 3)
+		a, err := m.Solve(Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Solve(Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Status != b.Status || math.Abs(a.Obj-b.Obj) > 1e-12 {
+			t.Fatalf("seed %d: runs differ: (%v, %v) vs (%v, %v)", seed, a.Status, a.Obj, b.Status, b.Obj)
+		}
+		for j := range a.X {
+			if math.Abs(a.X[j]-b.X[j]) > 1e-9 {
+				t.Fatalf("seed %d: solution vectors differ at %d", seed, j)
+			}
+		}
+	}
+}
+
+// TestPortfolioWarmStartRespected checks every worker is seeded with
+// the warm incumbent (a budget of zero nodes must still return it).
+func TestPortfolioWarmStartRespected(t *testing.T) {
+	m := randomKnapsack(3, 20)
+	warm := make([]float64, m.NumVars())
+	sol, err := m.Solve(Options{Workers: 4, NodeLimit: 1, WarmStart: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == NoSolution {
+		t.Fatalf("warm start lost: %v", sol.Status)
+	}
+	if sol.Obj < -1e-9 {
+		t.Fatalf("warm objective %v, want ≥ 0", sol.Obj)
+	}
+}

@@ -19,6 +19,17 @@ type search struct {
 	nodes   int
 	bestObj float64 // internal (minimization) direction; +Inf = none
 	bestX   []float64
+
+	// Portfolio diversification (nil/false on the sequential solver
+	// and on worker 0, which keeps the canonical dive order).
+	// jitter perturbs the most-fractional branching score per variable;
+	// flipDive explores the away-from-LP rounding first.
+	jitter   []float64
+	flipDive bool
+	// shared, when non-nil, is the portfolio-wide incumbent objective:
+	// workers prune against it and publish improvements to it, while
+	// bestObj/bestX stay private so the final merge is deterministic.
+	shared *sharedBound
 	// rootBound is the root LP relaxation value (internal direction);
 	// -Inf until solved. With depth-first search this is the bound we
 	// report (children only tighten it locally).
@@ -35,7 +46,26 @@ func (s *search) setIncumbent(x []float64, objInternal float64) {
 	if objInternal < s.bestObj-1e-12 {
 		s.bestObj = objInternal
 		s.bestX = append(s.bestX[:0], x[:len(s.m.obj)]...)
+		if s.shared != nil {
+			s.shared.update(objInternal)
+		}
 	}
+}
+
+// pruned reports whether a node with LP relaxation value obj can be
+// cut. Against the private incumbent the usual tie-inclusive margin
+// applies. Against the portfolio-wide bound the margin is flipped to
+// strictly-worse-only: a subtree whose best possible value exactly
+// ties the global incumbent must still be explored, otherwise whether
+// a worker keeps its canonical solution would depend on when another
+// goroutine happened to publish the tie — and the merged result would
+// no longer be deterministic. (Symmetric scheduling models tie
+// exactly, so this is the common case, not a corner.)
+func (s *search) pruned(obj float64) bool {
+	if obj >= s.bestObj-1e-9 {
+		return true
+	}
+	return s.shared != nil && obj >= s.shared.load()+1e-9
 }
 
 // run performs DFS branch and bound.
@@ -94,20 +124,28 @@ func (s *search) dfs(depth int) {
 			return
 		}
 	}
-	if res.Status == simplex.Optimal && res.Obj >= s.bestObj-1e-9 {
+	if res.Status == simplex.Optimal && s.pruned(res.Obj) {
 		return // bound prune
 	}
-	// Find the most fractional integer variable.
+	// Find the most fractional integer variable (portfolio workers
+	// perturb the score so their dives take different branch orders).
 	branchVar := -1
-	worst := s.opt.IntTol
+	worst := 0.0
 	for j := 0; j < len(s.m.obj); j++ {
 		if !s.m.integer[j] {
 			continue
 		}
 		f := res.X[j] - math.Floor(res.X[j])
 		frac := math.Min(f, 1-f)
-		if frac > worst {
-			worst = frac
+		if frac <= s.opt.IntTol {
+			continue
+		}
+		score := frac
+		if s.jitter != nil {
+			score = frac * (0.5 + s.jitter[j])
+		}
+		if branchVar < 0 || score > worst {
+			worst = score
 			branchVar = j
 		}
 	}
@@ -132,6 +170,9 @@ func (s *search) dfs(depth int) {
 	second := 1 - first
 	if first < 0 || first > 1 {
 		first, second = math.Floor(v), math.Ceil(v)
+	}
+	if s.flipDive {
+		first, second = second, first
 	}
 	for _, val := range []float64{first, second} {
 		if s.timeUp() || s.nodes >= s.opt.NodeLimit {

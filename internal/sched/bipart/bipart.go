@@ -51,6 +51,11 @@ type Scheduler struct {
 	// UseLRU swaps the §4.3 popularity eviction for LRU (for the
 	// ablation bench).
 	UseLRU bool
+	// Workers bounds the goroutines of the recursive hypergraph
+	// partitioners (0 = GOMAXPROCS, 1 = sequential). The schedule is a
+	// pure function of Seed — Workers never changes the result, only
+	// the wall-clock time to compute it.
+	Workers int
 }
 
 // New returns a BiPartition scheduler with the paper's defaults.
@@ -128,7 +133,7 @@ func (s *Scheduler) selectSubBatch(st *core.State, pending []batch.TaskID) ([]ba
 		return s.greedySubBatch(st, pending, agg), nil
 	}
 	h, _, files := buildHypergraph(st, pending, nil)
-	part, np, err := hypergraph.PartitionBINW(h, agg, s.BINWEpsilon, s.Seed)
+	part, np, err := hypergraph.PartitionBINWOpt(h, agg, hypergraph.BINWOptions{Eps: s.BINWEpsilon, Seed: s.Seed, Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +217,7 @@ func (s *Scheduler) mapTasks(st *core.State, sub []batch.TaskID) (map[batch.Task
 	K := st.P.Platform.NumCompute()
 	weights := s.vertexWeights(st, sub)
 	h, _, _ := buildHypergraph(st, sub, weights)
-	part, err := hypergraph.PartitionKWay(h, K, s.Epsilon, s.Seed+1)
+	part, err := hypergraph.PartitionKWayOpt(h, K, hypergraph.KWayOptions{Eps: s.Epsilon, Seed: s.Seed + 1, Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,11 @@ type Scheduler struct {
 	NoWarmStart bool
 	// Seed drives the warm-start heuristic's partitioner.
 	Seed int64
+	// Workers is the parallelism of each IP solve (portfolio dives)
+	// and of the warm-start partitioner (0 = GOMAXPROCS, 1 =
+	// sequential). The solve is deterministic for a fixed seed
+	// whenever branch and bound runs to completion within its budget.
+	Workers int
 }
 
 // New returns an IP scheduler with the default budgets.
@@ -83,7 +88,7 @@ func (s *Scheduler) allocate(st *core.State, sub []batch.TaskID) (*core.SubPlan,
 func (s *Scheduler) allocateOnce(st *core.State, sub []batch.TaskID) (*core.SubPlan, error) {
 	ins := buildInstance(st, sub)
 	m, vi := ins.buildAllocationModel(s.Strong)
-	opt := mip.Options{TimeLimit: s.AllocBudget}
+	opt := mip.Options{TimeLimit: s.AllocBudget, Workers: s.Workers}
 	if !s.NoWarmStart {
 		if nodeOf, ok := s.heuristicAssignment(st, sub); ok {
 			opt.WarmStart = ins.warmStart(m, vi, nodeOf)
@@ -126,6 +131,7 @@ func (s *Scheduler) allocateOnce(st *core.State, sub []batch.TaskID) (*core.SubP
 // starts cold).
 func (s *Scheduler) heuristicAssignment(st *core.State, sub []batch.TaskID) ([]int, bool) {
 	bp := bipart.New(s.Seed + 17)
+	bp.Workers = s.Workers
 	assignMap, err := bp.MapForWarmStart(st, sub)
 	if err != nil {
 		return nil, false
@@ -148,7 +154,7 @@ func (s *Scheduler) heuristicAssignment(st *core.State, sub []batch.TaskID) ([]i
 func (s *Scheduler) selectSubBatch(st *core.State, pending []batch.TaskID) ([]batch.TaskID, error) {
 	ins := buildInstance(st, pending)
 	m, vi := ins.buildSelectionModel(s.Thresh, s.Strong)
-	sol, err := m.Solve(mip.Options{TimeLimit: s.SelectBudget, WarmStart: ins.selectionWarmStart(m, vi)})
+	sol, err := m.Solve(mip.Options{TimeLimit: s.SelectBudget, Workers: s.Workers, WarmStart: ins.selectionWarmStart(m, vi)})
 	if err != nil {
 		return nil, fmt.Errorf("ipsched: selection model: %w", err)
 	}

@@ -374,10 +374,3 @@ func gridDims(cells int) (w, h int) {
 	h = (cells + w - 1) / w
 	return w, h
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
