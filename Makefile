@@ -1,14 +1,34 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-parallel figures clean
+.PHONY: all help build vet lint test race fuzz-short verify bench bench-parallel figures clean
 
 all: verify
+
+help:
+	@echo "Targets:"
+	@echo "  make verify        - full tier-1 gate: build, vet, lint, test, race, fuzz-short"
+	@echo "  make build         - compile every package"
+	@echo "  make vet           - go vet"
+	@echo "  make lint          - run schedlint, the repo's determinism-contract analyzer"
+	@echo "  make test          - unit tests"
+	@echo "  make race          - unit tests under the race detector"
+	@echo "  make fuzz-short    - one short iteration of each fuzz target"
+	@echo "  make bench         - all benchmarks, one iteration"
+	@echo "  make bench-parallel- workers=1 vs workers=N scaling benches"
+	@echo "  make figures       - regenerate the paper figures (quick mode)"
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# schedlint (cmd/schedlint) statically enforces the determinism
+# contract: no map-order-dependent writes, no wall clock or global
+# rand in solver packages, no scheduling-order merges, no float
+# accumulation in map order. See DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/schedlint -dir .
 
 test:
 	$(GO) test ./...
@@ -19,7 +39,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+# One short round of each fuzz target: replays the committed corpus
+# plus a few seconds of new inputs, enough to catch invariant
+# regressions without turning verify into a fuzzing campaign.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzPartitionKWay -fuzztime=5s ./internal/hypergraph/
+	$(GO) test -run='^$$' -fuzz=FuzzTimelineReserve -fuzztime=5s ./internal/gantt/
+
+verify: build vet lint test race fuzz-short
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -1,0 +1,78 @@
+// Command schedlint statically enforces the repository's determinism
+// contract: fixed seed ⇒ identical schedules at any worker count. It
+// loads every package of the module with go/parser + go/types (no
+// external dependencies, no subprocesses) and reports violations of
+// four project-specific rules — detrange, nowallclock, mergeorder,
+// floataccum — with file:line:col positions. Individual lines are
+// waived with
+//
+//	//schedlint:allow <check>[,<check>...] <reason>
+//
+// on the offending line or the line above. Exit status: 0 clean,
+// 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module root to analyze (directory containing go.mod)")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list registered checks and exit")
+	quiet := flag.Bool("q", false, "suppress the summary line")
+	flag.Parse()
+
+	if *list {
+		for _, name := range analysis.CheckNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := analysis.Config{}
+	if *checks != "" {
+		cfg.Checks = strings.Split(*checks, ",")
+	}
+	findings := analysis.Run(pkgs, cfg)
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Check, f.Msg)
+	}
+	if len(findings) > 0 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "schedlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "schedlint: %d package(s) clean\n", len(pkgs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedlint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,288 @@
+// Package analysis is the project-specific static analyzer behind
+// cmd/schedlint. It enforces the repository's determinism contract
+// (fixed seed ⇒ identical output at any worker count) as machine-checked
+// invariants instead of reviewer folklore:
+//
+//	detrange    — map iteration feeding order-dependent state in solver
+//	              packages (the growInitial class of bug)
+//	nowallclock — wall-clock time and the global math/rand stream in
+//	              solver packages; randomness must flow in as parameters
+//	mergeorder  — worker results merged into shared state in a way that
+//	              depends on goroutine scheduling rather than worker index
+//	floataccum  — float += accumulation in map-iteration order
+//	              (order-dependent rounding)
+//
+// Findings are suppressed line-by-line with
+//
+//	//schedlint:allow <check>[,<check>...] [reason]
+//
+// placed on the offending line or the line directly above it. The
+// package is built exclusively on the standard library (go/ast,
+// go/parser, go/types), preserving the module's zero-dependency stance.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Check string
+	Pos   token.Position
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}
+
+// Config selects which checks run and which packages count as
+// "deterministic" (solver) packages for the checks scoped to them.
+type Config struct {
+	// Checks to run; empty means all registered checks.
+	Checks []string
+	// DeterministicPaths are import-path prefixes of packages whose
+	// output must be a pure function of their inputs and seeds.
+	// detrange, nowallclock and floataccum only fire inside these.
+	DeterministicPaths []string
+}
+
+// DefaultDeterministicPaths lists the solver packages of this
+// repository: everything between problem input and committed schedule.
+var DefaultDeterministicPaths = []string{
+	"repro/internal/mip",
+	"repro/internal/hypergraph",
+	"repro/internal/sched",
+	"repro/internal/gantt",
+	"repro/internal/batch",
+	"repro/internal/eviction",
+	"repro/internal/core",
+}
+
+// A check inspects one package through a pass and reports findings.
+type check struct {
+	name string
+	// deterministicOnly restricts the check to deterministic packages.
+	deterministicOnly bool
+	run               func(*pass)
+}
+
+// allChecks is the registry, in reporting-priority order.
+var allChecks = []check{
+	{name: "detrange", deterministicOnly: true, run: runDetRange},
+	{name: "nowallclock", deterministicOnly: true, run: runNoWallClock},
+	{name: "mergeorder", deterministicOnly: false, run: runMergeOrder},
+	{name: "floataccum", deterministicOnly: true, run: runFloatAccum},
+}
+
+// CheckNames returns the registered check names.
+func CheckNames() []string {
+	names := make([]string, len(allChecks))
+	for i, c := range allChecks {
+		names[i] = c.name
+	}
+	return names
+}
+
+// pass is the per-(package, check) context handed to check bodies.
+type pass struct {
+	pkg      *Package
+	check    string
+	suppress suppressions
+	out      *[]Finding
+}
+
+func (p *pass) reportf(pos token.Pos, format string, args ...any) {
+	position := p.pkg.Fset.Position(pos)
+	if p.suppress.allows(position, p.check) {
+		return
+	}
+	*p.out = append(*p.out, Finding{Check: p.check, Pos: position, Msg: fmt.Sprintf(format, args...)})
+}
+
+// typeOf resolves an expression's type (nil when unknown).
+func (p *pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// objectOf resolves an identifier to its object via Uses then Defs.
+func (p *pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.pkg.Info.Defs[id]
+}
+
+// Run analyzes the packages and returns all unsuppressed findings,
+// sorted by position.
+func Run(pkgs []*Package, cfg Config) []Finding {
+	selected := map[string]bool{}
+	for _, name := range cfg.Checks {
+		selected[name] = true
+	}
+	detPaths := cfg.DeterministicPaths
+	if detPaths == nil {
+		detPaths = DefaultDeterministicPaths
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		det := isDeterministicPath(strings.TrimSuffix(pkg.Path, ".test"), detPaths)
+		for _, c := range allChecks {
+			if len(selected) > 0 && !selected[c.name] {
+				continue
+			}
+			if c.deterministicOnly && !det {
+				continue
+			}
+			c.run(&pass{pkg: pkg, check: c.name, suppress: sup, out: &findings})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+func isDeterministicPath(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions maps file → line → set of allowed check names ("all"
+// allows every check).
+type suppressions map[string]map[int]map[string]bool
+
+const allowPrefix = "schedlint:allow"
+
+// collectSuppressions scans every comment of the package for
+// //schedlint:allow annotations.
+func collectSuppressions(pkg *Package) suppressions {
+	sup := suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				checks := lines[pos.Line]
+				if checks == nil {
+					checks = map[string]bool{}
+					lines[pos.Line] = checks
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					checks[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// allows reports whether the check is suppressed at the position: an
+// allow annotation on the same line or the line directly above.
+func (s suppressions) allows(pos token.Position, check string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if cs := lines[line]; cs != nil && (cs[check] || cs["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- shared AST helpers used by the individual checks ----
+
+// rootIdent unwraps an assignable expression (index, selector, star,
+// paren) down to its base identifier; nil when the base is not a plain
+// identifier (e.g. a function call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// source interval [from, to] — used to separate loop-local state from
+// captured/outer state.
+func declaredWithin(obj types.Object, from, to token.Pos) bool {
+	return obj != nil && obj.Pos() >= from && obj.Pos() <= to
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloatType reports whether t is a floating-point type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isIntegerType reports whether t is an integer type.
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expect.txt golden files")
+
+// loadFixture type-checks one fixture package under testdata/src and
+// runs a single check on it, returning the findings formatted exactly
+// as the golden files store them (basename:line:col: check: msg).
+func loadFixture(t *testing.T, name string, cfg Config) []string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := l.LoadDir("fixture/"+name, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s holds no package", name)
+	}
+	findings := Run([]*Package{pkg}, cfg)
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = fmt.Sprintf("%s:%d:%d: %s: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+	}
+	return out
+}
+
+// TestGolden runs each check against its fixture package — which holds
+// true positives, every documented sound exemption, and a suppressed
+// case — and compares the findings line-for-line with expect.txt.
+// Regenerate with: go test ./internal/analysis -run TestGolden -update
+func TestGolden(t *testing.T) {
+	for _, check := range CheckNames() {
+		t.Run(check, func(t *testing.T) {
+			got := loadFixture(t, check, Config{
+				Checks:             []string{check},
+				DeterministicPaths: []string{"fixture/" + check},
+			})
+			golden := filepath.Join("testdata", "src", check, "expect.txt")
+			if *update {
+				data := strings.Join(got, "\n")
+				if len(got) > 0 {
+					data += "\n"
+				}
+				if err := os.WriteFile(golden, []byte(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			var want []string
+			for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+				if line != "" {
+					want = append(want, line)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("finding count mismatch: got %d, want %d\ngot:\n  %s\nwant:\n  %s",
+					len(got), len(want), strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("finding %d:\n  got:  %s\n  want: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicScoping proves the package-scoping rules: the three
+// deterministicOnly checks stay silent outside the configured paths,
+// while mergeorder fires everywhere.
+func TestDeterministicScoping(t *testing.T) {
+	// Same fixtures, but the deterministic set names some other path.
+	for _, check := range []string{"detrange", "nowallclock", "floataccum"} {
+		got := loadFixture(t, check, Config{
+			Checks:             []string{check},
+			DeterministicPaths: []string{"fixture/elsewhere"},
+		})
+		if len(got) != 0 {
+			t.Errorf("%s fired outside deterministic paths:\n  %s", check, strings.Join(got, "\n  "))
+		}
+	}
+	got := loadFixture(t, "mergeorder", Config{
+		Checks:             []string{"mergeorder"},
+		DeterministicPaths: []string{"fixture/elsewhere"},
+	})
+	if len(got) == 0 {
+		t.Error("mergeorder must fire regardless of deterministic-path scoping")
+	}
+}
+
+// TestAllSuppression proves the "all" wildcard: a fixture loaded with
+// every check enabled reports nothing on lines allowed with
+// schedlint:allow all.
+func TestAllSuppression(t *testing.T) {
+	got := loadFixture(t, "allow_all", Config{
+		DeterministicPaths: []string{"fixture/allow_all"},
+	})
+	if len(got) != 0 {
+		t.Errorf("schedlint:allow all left findings:\n  %s", strings.Join(got, "\n  "))
+	}
+}
+
+// TestRepoIsClean is the acceptance gate behind `make lint`: the
+// analyzer, with the default configuration, reports zero findings on
+// the repository itself.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+	findings := Run(pkgs, Config{})
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

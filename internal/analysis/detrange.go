@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runDetRange flags `for … range` over a map whose body writes to
+// state declared outside the loop: Go randomizes map iteration order,
+// so any such write makes the result depend on it (the growInitial
+// class of bug PR 1 fixed). Writes that provably cannot depend on
+// iteration order are exempt:
+//
+//   - delete(m, k) on the map being ranged (the map-clear idiom);
+//   - commutative integer accumulation (`n += size`, `hist[k]++`,
+//     `bits |= m`): integer +, *, |, &, ^ are associative and
+//     commutative, so any order yields the same value;
+//   - constant inserts `set[k] = <literal>`: every order stores the
+//     same value under the same keys;
+//   - collecting only the keys into a slice that is subsequently
+//     passed to a sort call in the same function ("sort the keys
+//     first", written in its usual collect-then-sort order).
+//
+// Everything else needs either a rewrite over sorted keys or an
+// explicit //schedlint:allow detrange with a reason (e.g. a
+// deterministic total-order tie-break over the map entries).
+func runDetRange(p *pass) {
+	for _, f := range p.pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok && isMapType(p.typeOf(rs.X)) {
+				p.checkMapRange(rs, enclosingFunc(stack))
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the body of the innermost function containing
+// the top of the stack.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// outerWrite is one write to outside-declared state inside a map range.
+type outerWrite struct {
+	pos token.Pos
+	obj types.Object
+	// keyAppend marks the `keys = append(keys, k)` idiom: an append of
+	// only the range key onto the written slice itself.
+	keyAppend bool
+}
+
+func (p *pass) checkMapRange(rs *ast.RangeStmt, fn *ast.BlockStmt) {
+	var rangedObj, keyObj types.Object
+	if id, ok := ast.Unparen(rs.X).(*ast.Ident); ok {
+		rangedObj = p.objectOf(id)
+	}
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		keyObj = p.pkg.Info.Defs[id]
+	}
+	var writes []outerWrite
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				root := rootIdent(lhs)
+				if root == nil || root.Name == "_" {
+					continue
+				}
+				obj := p.objectOf(root)
+				if obj == nil || declaredWithin(obj, rs.Pos(), rs.End()) {
+					continue
+				}
+				if (st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN) && isFloatType(p.typeOf(lhs)) {
+					continue // floataccum reports these with a sharper message
+				}
+				if p.isCommutativeIntAccum(st, i, lhs, obj) || p.isConstantInsert(st, i, lhs) {
+					continue
+				}
+				writes = append(writes, outerWrite{pos: lhs.Pos(), obj: obj, keyAppend: p.isKeyAppend(st, i, obj, keyObj)})
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(st.X); root != nil {
+				if obj := p.objectOf(root); obj != nil && !declaredWithin(obj, rs.Pos(), rs.End()) {
+					if !isIntegerType(p.typeOf(st.X)) { // ++/-- on integers commutes
+						writes = append(writes, outerWrite{pos: st.Pos(), obj: obj})
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if root := rootIdent(st.Chan); root != nil {
+				if obj := p.objectOf(root); obj != nil && !declaredWithin(obj, rs.Pos(), rs.End()) {
+					writes = append(writes, outerWrite{pos: st.Pos(), obj: obj})
+				}
+			}
+		case *ast.CallExpr:
+			// delete(m, k): mutation of a map; exempt when m is the map
+			// being ranged (order-independent clearing).
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := p.objectOf(id).(*types.Builtin); isBuiltin && len(st.Args) == 2 {
+					if root := rootIdent(st.Args[0]); root != nil {
+						obj := p.objectOf(root)
+						if obj != nil && obj != rangedObj && !declaredWithin(obj, rs.Pos(), rs.End()) {
+							writes = append(writes, outerWrite{pos: st.Pos(), obj: obj})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return
+	}
+	// The collect-then-sort idiom: every write appends only the key to
+	// the same slice, and that slice later flows through a sort call.
+	if keyObj != nil {
+		target := writes[0].obj
+		idiom := true
+		for _, w := range writes {
+			if !w.keyAppend || w.obj != target {
+				idiom = false
+				break
+			}
+		}
+		if idiom && sortedAfter(p, fn, target, rs.End()) {
+			return
+		}
+	}
+	names := make([]string, 0, 3)
+	seen := map[types.Object]bool{}
+	for _, w := range writes {
+		if !seen[w.obj] {
+			seen[w.obj] = true
+			if len(names) < 3 {
+				names = append(names, w.obj.Name())
+			}
+		}
+	}
+	extra := ""
+	if n := len(seen) - len(names); n > 0 {
+		extra = " …"
+	}
+	p.reportf(rs.Pos(), "map iteration writes to %s%s declared outside the loop; map order is randomized — iterate over sorted keys or annotate //schedlint:allow detrange <reason>", strings.Join(names, ", "), extra)
+}
+
+// isKeyAppend reports whether the i-th assignment is
+// `x = append(x, k)` with k the range key and x the written slice.
+func (p *pass) isKeyAppend(st *ast.AssignStmt, i int, target, keyObj types.Object) bool {
+	if st.Tok != token.ASSIGN || keyObj == nil || len(st.Rhs) != len(st.Lhs) {
+		return false
+	}
+	call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := p.objectOf(fn).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if root := rootIdent(call.Args[0]); root == nil || p.objectOf(root) != target {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || p.objectOf(id) != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// isCommutativeIntAccum reports whether the i-th assignment is an
+// integer accumulation through an associative-commutative operator
+// (`n += size`, `bits |= m`, `hist[k] *= 2`): those reach the same
+// value under every iteration order. Self-referential right-hand sides
+// (`n += f(n)`) are excluded — there the summed values themselves
+// depend on the order.
+func (p *pass) isCommutativeIntAccum(st *ast.AssignStmt, i int, lhs ast.Expr, target types.Object) bool {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if !isIntegerType(p.typeOf(lhs)) || i >= len(st.Rhs) {
+		return false
+	}
+	selfRef := false
+	ast.Inspect(st.Rhs[i], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.objectOf(id) == target {
+			selfRef = true
+		}
+		return !selfRef
+	})
+	return !selfRef
+}
+
+// isConstantInsert reports whether the i-th assignment stores a
+// compile-time constant into an element of an outer map
+// (`seen[k] = true`): every iteration order stores the same values
+// under the same keys.
+func (p *pass) isConstantInsert(st *ast.AssignStmt, i int, lhs ast.Expr) bool {
+	ie, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok || !isMapType(p.typeOf(ie.X)) {
+		return false
+	}
+	if st.Tok != token.ASSIGN || i >= len(st.Rhs) || len(st.Rhs) != len(st.Lhs) {
+		return false
+	}
+	tv, ok := p.pkg.Info.Types[st.Rhs[i]]
+	return ok && tv.Value != nil
+}
+
+// sortedAfter reports whether, after position `after` in fn, the slice
+// obj is passed to a call whose name mentions sorting (sort.Slice,
+// slices.Sort, a local sortX helper, batch.SortedCopy, …).
+func sortedAfter(p *pass, fn *ast.BlockStmt, obj types.Object, after token.Pos) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || found {
+			return !found
+		}
+		name := ""
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+			if q, ok := f.X.(*ast.Ident); ok {
+				name = q.Name + "." + name // sort.Slice, slices.SortFunc, …
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && p.objectOf(root) == obj {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// runFloatAccum flags `x += v` (and `x -= v`) on floating-point
+// accumulators inside a map-range body. Float addition is not
+// associative, so even a pure reduction — which detrange would treat
+// like any other outer write — produces different low-order bits under
+// different iteration orders, breaking byte-identical output across
+// runs and worker counts. Accumulate over sorted keys instead, or keep
+// exact sums in integers.
+func runFloatAccum(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p.typeOf(rs.X)) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				st, ok := inner.(*ast.AssignStmt)
+				if !ok || (st.Tok != token.ADD_ASSIGN && st.Tok != token.SUB_ASSIGN) {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if !isFloatType(p.typeOf(lhs)) {
+						continue
+					}
+					root := rootIdent(lhs)
+					if root == nil {
+						continue
+					}
+					if obj := p.objectOf(root); obj != nil && !declaredWithin(obj, rs.Pos(), rs.End()) {
+						p.reportf(st.Pos(), "float accumulation into %s in map-iteration order: rounding depends on the randomized order — accumulate over sorted keys", root.Name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/gantt"); external test
+	// packages get the conventional ".test" suffix appended.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// FileName maps each *ast.File to the path it was parsed from.
+	FileName map[*ast.File]string
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// Loader discovers, parses and type-checks every package of a module
+// using only the standard library (go/parser + go/types with a
+// source-level importer — no go/packages, no external processes).
+type Loader struct {
+	fset *token.FileSet
+	// ModulePath is the module's import-path prefix (from go.mod).
+	ModulePath string
+	// Root is the module root directory.
+	Root string
+
+	std  types.Importer
+	pkgs map[string]*Package // primary packages by import path
+}
+
+// NewLoader prepares a loader for the module rooted at dir (the
+// directory containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	mod, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w (schedlint must run from a module root)", err)
+	}
+	path := ""
+	for _, line := range strings.Split(string(mod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			path = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if path == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		ModulePath: path,
+		Root:       dir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// skipDir lists directory names the walk never descends into,
+// mirroring the go tool's conventions (testdata holds deliberately
+// broken lint fixtures).
+func skipDir(name string) bool {
+	switch name {
+	case "testdata", "vendor", ".git", ".github", "results":
+		return true
+	}
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadAll loads every package under the module root, including
+// external _test packages, in a deterministic order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if p != l.Root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		primary, ext, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if primary != nil {
+			out = append(out, primary)
+		}
+		if ext != nil {
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir type-checks a single directory as the given import path —
+// used by tests to load fixture packages that live outside the module
+// tree.
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	primary, ext, err := l.loadDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	if primary == nil {
+		return ext, nil
+	}
+	return primary, nil
+}
+
+// loadDir parses a directory and type-checks its primary package and,
+// when present, its external _test package.
+func (l *Loader) loadDir(path, dir string) (primary, external *Package, err error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := map[string][]*ast.File{}
+	names := map[*ast.File]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fp := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, fp, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		byName[f.Name.Name] = append(byName[f.Name.Name], f)
+		names[f] = fp
+	}
+	if len(byName) == 0 {
+		return nil, nil, nil
+	}
+	// Identify the primary package (at most one non-_test name) and the
+	// optional external test package.
+	var primaryName, extName string
+	for name := range byName {
+		if strings.HasSuffix(name, "_test") {
+			extName = name
+			continue
+		}
+		if primaryName != "" {
+			return nil, nil, fmt.Errorf("analysis: %s holds two packages, %s and %s", dir, primaryName, name)
+		}
+		primaryName = name
+	}
+	if primaryName != "" {
+		primary, err = l.check(path, dir, byName[primaryName], names)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.pkgs[path] = primary
+	}
+	if extName != "" {
+		external, err = l.check(path+".test", dir, byName[extName], names)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return primary, external, nil
+}
+
+// check type-checks one group of files as a package.
+func (l *Loader) check(path, dir string, files []*ast.File, names map[*ast.File]string) (*Package, error) {
+	sort.Slice(files, func(i, j int) bool { return names[files[i]] < names[files[j]] })
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	fileNames := make(map[*ast.File]string, len(files))
+	for _, f := range files {
+		fileNames[f] = names[f]
+	}
+	return &Package{
+		Path:     path,
+		Dir:      dir,
+		Fset:     l.fset,
+		Files:    files,
+		FileName: fileNames,
+		Types:    tpkg,
+		Info:     info,
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths resolve
+// through the loader itself, everything else falls back to the
+// source-level standard-library importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+		p, _, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("analysis: no Go package in %s", dir)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

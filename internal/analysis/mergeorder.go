@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runMergeOrder enforces the deterministic-merge pattern PR 1
+// established for fan-out code: a worker goroutine may only publish
+// results into shared memory at an address derived from its own
+// identity (`results[w] = …` with w the worker index), so that the
+// merged value is independent of goroutine interleaving. Flagged
+// inside `go func(){…}` bodies:
+//
+//   - assignment or append to a captured variable as a whole
+//     (`shared = append(shared, r)`, `best = r`, `count++`);
+//   - writes into a captured map (scheduling-order merge and a data
+//     race at once);
+//   - writes into a captured slice at an index not derived from any
+//     worker-local variable (`shared[0] = r`);
+//   - sends of results on captured channels (receive order is
+//     scheduling order). Channels of struct{} are exempt — those are
+//     semaphores/latches, not result carriers.
+//
+// Worker-local means: declared inside the goroutine literal, a
+// parameter of it, or a per-iteration variable of a loop enclosing the
+// `go` statement (Go ≥1.22 semantics).
+func runMergeOrder(p *pass) {
+	for _, f := range p.pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if g, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					p.checkGoroutine(lit, loopVarsEnclosing(p, stack))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// loopVarsEnclosing collects the per-iteration variables (range
+// key/value, for-init vars) of every loop enclosing the current node.
+func loopVarsEnclosing(p *pass, stack []ast.Node) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addDefs := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.pkg.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, n := range stack {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st.Key != nil {
+				addDefs(st.Key)
+			}
+			if st.Value != nil {
+				addDefs(st.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					addDefs(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+func (p *pass) checkGoroutine(lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	local := func(obj types.Object) bool {
+		return obj == nil || declaredWithin(obj, lit.Pos(), lit.End()) || loopVars[obj]
+	}
+	// indexIsLocal reports whether an index expression mentions at
+	// least one worker-local variable — the "own index" criterion.
+	indexIsLocal := func(idx ast.Expr) bool {
+		ok := false
+		ast.Inspect(idx, func(n ast.Node) bool {
+			if id, isIdent := n.(*ast.Ident); isIdent {
+				if obj := p.objectOf(id); obj != nil && (declaredWithin(obj, lit.Pos(), lit.End()) || loopVars[obj]) {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		return ok
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				root := rootIdent(lhs)
+				if root == nil || root.Name == "_" {
+					continue
+				}
+				obj := p.objectOf(root)
+				if local(obj) {
+					continue
+				}
+				if ie, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if isMapType(p.typeOf(ie.X)) {
+						p.reportf(lhs.Pos(), "goroutine writes into shared map %s: merge order follows goroutine scheduling (and races); publish into a slice slot owned by this worker instead", root.Name)
+					} else if !indexIsLocal(ie.Index) {
+						p.reportf(lhs.Pos(), "goroutine writes shared slice %s at an index not derived from this worker's identity; use the worker index so the merge is deterministic", root.Name)
+					}
+					continue
+				}
+				if isAppendTo(p, st, i, obj) {
+					p.reportf(lhs.Pos(), "goroutine appends worker results to shared %s: element order follows goroutine scheduling; write to results[w] for worker w and merge in index order", root.Name)
+				} else {
+					p.reportf(lhs.Pos(), "goroutine assigns to shared %s: last-writer-wins depends on goroutine scheduling; publish per-worker results and reduce deterministically after Wait", root.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(st.X); root != nil && !local(p.objectOf(root)) {
+				p.reportf(st.Pos(), "goroutine mutates shared %s: result depends on interleaving; keep per-worker counters and sum them after Wait", root.Name)
+			}
+		case *ast.SendStmt:
+			root := rootIdent(st.Chan)
+			if root == nil {
+				return true
+			}
+			obj := p.objectOf(root)
+			if local(obj) {
+				return true
+			}
+			if ch, ok := p.typeOf(st.Chan).Underlying().(*types.Chan); ok {
+				if s, ok := ch.Elem().Underlying().(*types.Struct); ok && s.NumFields() == 0 {
+					return true // struct{} tokens: semaphore/latch, not a result
+				}
+			}
+			p.reportf(st.Pos(), "goroutine sends results on shared channel %s: receive order follows goroutine scheduling; write into an index-addressed slice (or tag values with the worker index and reorder)", root.Name)
+		}
+		return true
+	})
+}
+
+// isAppendTo reports whether the i-th assignment's RHS is an append
+// rooted at the same object as the LHS.
+func isAppendTo(p *pass, st *ast.AssignStmt, i int, target types.Object) bool {
+	if len(st.Rhs) != len(st.Lhs) {
+		return false
+	}
+	call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := p.objectOf(fn).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	root := rootIdent(call.Args[0])
+	return root != nil && p.objectOf(root) == target
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read the wall
+// clock; any of them inside a solver package makes scheduling output
+// depend on machine speed.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalRandAllowed are the math/rand (and math/rand/v2) package-level
+// functions that do NOT touch the process-global stream: constructors
+// for explicitly seeded generators.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// runNoWallClock bans wall-clock reads and the global math/rand stream
+// in deterministic packages. Randomness and time budgets must flow in
+// as parameters (a seeded *rand.Rand, an explicit deadline), so that a
+// fixed seed reproduces the same schedule on any machine at any worker
+// count. Methods on *rand.Rand are fine — only the package-level
+// functions drawing from the shared global source are flagged.
+func runNoWallClock(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.objectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded explicitly
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					p.reportf(sel.Pos(), "time.%s in a deterministic package makes output depend on machine speed; take deadlines/seeds as parameters or annotate //schedlint:allow nowallclock <reason>", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandAllowed[fn.Name()] {
+					p.reportf(sel.Pos(), "rand.%s draws from the process-global stream; thread a seeded *rand.Rand through parameters instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

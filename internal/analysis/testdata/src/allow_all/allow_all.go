@@ -1,0 +1,22 @@
+// Package allow_all is a schedlint golden-test fixture for the "all"
+// suppression wildcard: every statement here would otherwise trigger a
+// check, and every one is silenced by a single allow-all annotation.
+package allow_all
+
+import "time"
+
+// wildcard triggers nowallclock, detrange and floataccum — all
+// silenced line by line with the wildcard form.
+func wildcard(m map[string]float64) (time.Time, float64, []string) {
+	//schedlint:allow all fixture: wildcard silences every check
+	now := time.Now()
+	var sum float64
+	var keys []string
+	//schedlint:allow all fixture: wildcard silences every check
+	for k, v := range m {
+		sum += v //schedlint:allow all fixture: wildcard silences every check
+		//schedlint:allow all fixture: wildcard silences every check
+		keys = append(keys, k)
+	}
+	return now, sum, keys
+}

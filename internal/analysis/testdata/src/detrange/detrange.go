@@ -1,0 +1,72 @@
+// Package detrange is a schedlint golden-test fixture: each function
+// is either a true positive for the detrange check or one of its
+// documented sound exemptions. Line numbers are pinned by expect.txt.
+package detrange
+
+import "sort"
+
+// badUnsortedKeys collects keys out of a map range without sorting —
+// the canonical order-dependent bug. One finding.
+func badUnsortedKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// badStringConcat builds a string in map order. One finding.
+func badStringConcat(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// goodCollectThenSort appends keys then sorts before use — exempt.
+func goodCollectThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodIntAccum sums integers: commutative, order-independent — exempt.
+func goodIntAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodConstantInsert builds a set with constant values — exempt.
+func goodConstantInsert(m map[int][]int) map[int]bool {
+	set := map[int]bool{}
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+// goodDelete removes entries from the ranged map itself — exempt.
+func goodDelete(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// suppressedWrite carries an allow annotation — no finding.
+func suppressedWrite(m map[int]int) []int {
+	var out []int
+	//schedlint:allow detrange fixture: order genuinely irrelevant here
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

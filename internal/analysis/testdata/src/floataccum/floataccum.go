@@ -1,0 +1,64 @@
+// Package floataccum is a schedlint golden-test fixture for the
+// floataccum check: float += in map-iteration order triggers, sorted
+// or slice-ordered accumulation does not.
+package floataccum
+
+import "sort"
+
+// badSum accumulates floats in map order: the rounding error depends
+// on the randomized iteration order. One finding.
+func badSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// badSub is the subtraction variant. One finding.
+func badSub(m map[string]float64, total float64) float64 {
+	for _, v := range m {
+		total -= v
+	}
+	return total
+}
+
+// goodSortedKeys accumulates over sorted keys — a fixed order, so the
+// rounding is reproducible. Clean (the range is over a slice).
+func goodSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// goodLoopLocal accumulates into a variable scoped to the loop body —
+// it cannot carry order effects across iterations. Clean.
+func goodLoopLocal(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		if rowSum > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// suppressedSum carries an allow annotation — no finding.
+func suppressedSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //schedlint:allow floataccum fixture: tolerance-insensitive statistic
+	}
+	return sum
+}

@@ -1,0 +1,109 @@
+// Package mergeorder is a schedlint golden-test fixture for the
+// mergeorder check: worker results merged in scheduling order trigger,
+// index-owned slots and semaphore channels do not.
+package mergeorder
+
+import "sync"
+
+// badAppend appends worker results under a mutex: race-free but the
+// element order follows goroutine scheduling. One finding.
+func badAppend(items []int) []int {
+	out := make([]int, 0, len(items))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, it*2)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// badMapWrite publishes into a shared map from workers. One finding.
+func badMapWrite(items []int) map[int]int {
+	res := map[int]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			res[it] = it * it
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// badCounter increments a shared counter from workers. One finding.
+func badCounter(items []int, counts *int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*counts++
+		}()
+	}
+	wg.Wait()
+}
+
+// goodIndexedSlots writes each worker's result into the slot owned by
+// its loop index — the repo's canonical deterministic merge. Clean.
+func goodIndexedSlots(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = it * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// goodSemaphore bounds concurrency with a struct{} channel — carries
+// no result data, so send order cannot matter. Clean.
+func goodSemaphore(items []int) []int {
+	out := make([]int, len(items))
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			out[i] = it * it
+			<-sem
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// suppressedAppend carries an allow annotation — no finding.
+func suppressedAppend(items []int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, it) //schedlint:allow mergeorder fixture: caller sorts the result
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}

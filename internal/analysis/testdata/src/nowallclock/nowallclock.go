@@ -1,0 +1,39 @@
+// Package nowallclock is a schedlint golden-test fixture for the
+// nowallclock check: wall-clock reads and global-rand draws trigger,
+// seeded constructors and method calls do not.
+package nowallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badWallClock reads the wall clock twice. Two findings.
+func badWallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// badGlobalRand draws from the process-global stream. One finding.
+func badGlobalRand() int {
+	return rand.Intn(10)
+}
+
+// goodSeededRand constructs a private seeded stream — the New and
+// NewSource constructors are allowed, and Intn here is a method on the
+// local *rand.Rand, not the global function.
+func goodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// goodTimeArithmetic uses only time values passed in — no clock reads.
+func goodTimeArithmetic(deadline time.Time, now time.Time) bool {
+	return now.After(deadline)
+}
+
+// suppressedClock measures an overhead metric — annotated, no finding.
+func suppressedClock() time.Time {
+	//schedlint:allow nowallclock fixture: overhead metric only
+	return time.Now()
+}

@@ -40,11 +40,28 @@ type ExecStats struct {
 // the disk cache, task completion is marked, and the state clock
 // advances by the sub-batch makespan.
 func Execute(st *State, plan *SubPlan) (*ExecStats, error) {
-	e, err := newExecutor(st, plan)
+	e, err := newExecutor(st, plan, false)
 	if err != nil {
 		return nil, err
 	}
 	return e.run()
+}
+
+// ExecuteTraced is Execute plus a full gantt.Schedule record of what
+// was committed — every port timeline, staging event and task
+// execution — so callers can run gantt's post-hoc invariant checker
+// (no port overlap, disk capacity respected, inputs staged before
+// start) against the exact schedule the runtime stage produced.
+func ExecuteTraced(st *State, plan *SubPlan) (*ExecStats, *gantt.Schedule, error) {
+	e, err := newExecutor(st, plan, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := e.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, e.trace, nil
 }
 
 // transfer tags recorded in Gantt intervals, for debugging and tests.
@@ -73,9 +90,12 @@ type executor struct {
 	planned map[stageKey]Staging
 
 	stats ExecStats
+	// trace, when non-nil, accumulates the committed schedule for
+	// post-hoc validation.
+	trace *gantt.Schedule
 }
 
-func newExecutor(st *State, plan *SubPlan) (*executor, error) {
+func newExecutor(st *State, plan *SubPlan, traced bool) (*executor, error) {
 	if len(plan.Tasks) == 0 {
 		return nil, fmt.Errorf("core: empty sub-batch plan")
 	}
@@ -91,12 +111,29 @@ func newExecutor(st *State, plan *SubPlan) (*executor, error) {
 		e.linkTL = gantt.NewTimeline()
 	}
 	nf := p.Batch.NumFiles()
+	if traced {
+		e.trace = &gantt.Schedule{
+			Storage:  e.storageTL,
+			Compute:  e.computeTL,
+			Link:     e.linkTL,
+			DiskCap:  make([]int64, p.Platform.NumCompute()),
+			InitUsed: make([]int64, p.Platform.NumCompute()),
+			InitHeld: make([][]int, p.Platform.NumCompute()),
+		}
+		for n := range p.Platform.Compute {
+			e.trace.DiskCap[n] = p.Platform.Compute[n].DiskSpace
+			e.trace.InitUsed[n] = st.Used(n)
+		}
+	}
 	e.avail = make([][]float64, p.Platform.NumCompute())
 	for n := range e.avail {
 		e.avail[n] = make([]float64, nf)
 		for f := range e.avail[n] {
 			if st.Holds(n, batch.FileID(f)) {
 				e.avail[n][f] = 0
+				if e.trace != nil {
+					e.trace.InitHeld[n] = append(e.trace.InitHeld[n], f)
+				}
 			} else {
 				e.avail[n][f] = -1
 			}
@@ -302,6 +339,9 @@ func (v *schedEnv) remoteTransfer(f batch.FileID, dst int) (float64, error) {
 		}
 		v.e.stats.RemoteTransfers++
 		v.e.stats.RemoteBytes += size
+		if v.e.trace != nil {
+			v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
+		}
 	} else {
 		v.reserve(v.e.storageTL[home], start, dur, tagTransfer)
 		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
@@ -326,6 +366,9 @@ func (v *schedEnv) replicaTransfer(f batch.FileID, src, dst int, srcAt float64) 
 		}
 		v.e.stats.ReplicaTransfers++
 		v.e.stats.ReplicaBytes += size
+		if v.e.trace != nil {
+			v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
+		}
 	} else {
 		v.reserve(v.e.computeTL[src], start, dur, tagTransfer)
 		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
@@ -409,6 +452,13 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 		e.stats.TasksRun++
 		for _, f := range task.Files {
 			e.st.Touch(c, f, e.base()+start+execDur)
+		}
+		if e.trace != nil {
+			inputs := make([]int, len(task.Files))
+			for i, f := range task.Files {
+				inputs[i] = int(f)
+			}
+			e.trace.Tasks = append(e.trace.Tasks, gantt.TaskEvent{Task: int(t), Node: c, Start: start, End: start + execDur, Inputs: inputs})
 		}
 	}
 	return start + execDur, nil

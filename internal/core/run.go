@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/gantt"
 )
 
 // Result aggregates one full batch run: the three-stage pipeline
@@ -53,19 +54,45 @@ func Run(p *Problem, s Scheduler) (*Result, error) {
 	return RunFrom(st, s, p.Batch.AllTasks())
 }
 
+// RunChecked is Run with the gantt schedule validator enabled: every
+// sub-batch's committed schedule is re-checked post hoc (no port
+// reservation overlap, disk capacity never exceeded, every input file
+// staged before its task starts) and any violation aborts the run with
+// an error naming it. Tests use this so that scheduler bugs surface as
+// invariant violations instead of silently wrong makespans; it costs
+// one event record per transfer/task, so production paths stick to
+// Run.
+func RunChecked(p *Problem, s Scheduler) (*Result, error) {
+	st, err := NewState(p)
+	if err != nil {
+		return nil, err
+	}
+	return RunFromChecked(st, s, p.Batch.AllTasks())
+}
+
 // RunFrom is Run starting from an existing cluster state and an
 // explicit pending-task set, allowing callers to chain batches over a
 // warm disk cache.
 func RunFrom(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
+	return runFrom(st, s, pending, false)
+}
+
+// RunFromChecked is RunFrom with the gantt schedule validator enabled.
+func RunFromChecked(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
+	return runFrom(st, s, pending, true)
+}
+
+func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool) (*Result, error) {
 	res := &Result{Scheduler: s.Name(), TaskCount: len(pending)}
 	pendingSet := make(map[batch.TaskID]bool, len(pending))
 	for _, t := range pending {
 		pendingSet[t] = true
 	}
 	for len(pending) > 0 {
+		//schedlint:allow nowallclock measures real scheduling overhead (Fig 6(b) metric); never feeds placement decisions
 		t0 := time.Now()
 		plan, err := s.PlanSubBatch(st, pending)
-		res.SchedulingTime += time.Since(t0)
+		res.SchedulingTime += time.Since(t0) //schedlint:allow nowallclock overhead metric only
 		if err != nil {
 			return nil, fmt.Errorf("core: %s failed to plan a sub-batch with %d tasks pending: %w", s.Name(), len(pending), err)
 		}
@@ -77,7 +104,16 @@ func RunFrom(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
 				return nil, fmt.Errorf("core: %s planned task %d which is not pending", s.Name(), t)
 			}
 		}
-		stats, err := Execute(st, plan)
+		var stats *ExecStats
+		if checked {
+			var sched *gantt.Schedule
+			stats, sched, err = ExecuteTraced(st, plan)
+			if err == nil {
+				err = sched.Err()
+			}
+		} else {
+			stats, err = Execute(st, plan)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: executing %s sub-batch %d: %w", s.Name(), res.SubBatches, err)
 		}
@@ -100,9 +136,9 @@ func RunFrom(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
 		pending = batch.SortedCopy(pending)
 
 		if len(pending) > 0 {
-			t0 = time.Now()
+			t0 = time.Now() //schedlint:allow nowallclock overhead metric only
 			s.Evict(st, pending)
-			res.SchedulingTime += time.Since(t0)
+			res.SchedulingTime += time.Since(t0) //schedlint:allow nowallclock overhead metric only
 		}
 	}
 	res.Evictions = st.Evictions

@@ -44,6 +44,7 @@ func coarsenOnce(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
 		}
 		best := int32(-1)
 		bestS := 0.0
+		//schedlint:allow detrange argmax with total-order tie-break (u < best) is iteration-order independent
 		for u, s := range strength {
 			if s > bestS || (s == bestS && best >= 0 && u < best) {
 				best, bestS = u, s

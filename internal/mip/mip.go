@@ -175,6 +175,7 @@ func (m *Model) Solve(opt Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	//schedlint:allow nowallclock anchors Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
 	s := &search{m: m, lp: lp, opt: opt, start: time.Now(), bestObj: math.Inf(1)}
 	if opt.WarmStart != nil {
 		if obj, ok := m.CheckFeasible(opt.WarmStart, 1e-6); ok {

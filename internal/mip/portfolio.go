@@ -70,7 +70,7 @@ func (m *Model) solvePortfolio(opt Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //schedlint:allow nowallclock anchors Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
 	var warm []float64
 	warmObj := math.Inf(1)
 	if opt.WarmStart != nil {

@@ -39,6 +39,7 @@ type search struct {
 }
 
 func (s *search) timeUp() bool {
+	//schedlint:allow nowallclock enforces Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
 	return s.opt.TimeLimit > 0 && time.Since(s.start) >= s.opt.TimeLimit
 }
 
