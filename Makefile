@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet lint test race fuzz-short verify bench bench-parallel figures clean
+.PHONY: all help build vet lint test race fuzz-short verify bench bench-all bench-parallel profile figures clean
 
 all: verify
 
@@ -13,8 +13,10 @@ help:
 	@echo "  make test          - unit tests"
 	@echo "  make race          - unit tests under the race detector"
 	@echo "  make fuzz-short    - one short iteration of each fuzz target"
-	@echo "  make bench         - all benchmarks, one iteration"
+	@echo "  make bench         - per-scheduler benches -> BENCH_schedulers.json"
+	@echo "  make bench-all     - all benchmarks, one iteration"
 	@echo "  make bench-parallel- workers=1 vs workers=N scaling benches"
+	@echo "  make profile       - CPU/heap profiles + Chrome trace of one run"
 	@echo "  make figures       - regenerate the paper figures (quick mode)"
 
 build:
@@ -48,12 +50,27 @@ fuzz-short:
 
 verify: build vet lint test race fuzz-short
 
+# One timed pipeline run per scheduling scheme, parsed into
+# BENCH_schedulers.json (per-scheme ns/op, allocs/op, simulated
+# makespan) so CI can archive the performance trajectory.
 bench:
+	$(GO) test -run='^$$' -bench='^BenchmarkSchedulers$$' -benchmem -benchtime=1x \
+		| $(GO) run ./cmd/benchjson -o BENCH_schedulers.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
 # Just the workers=1 vs workers=N scaling benches.
 bench-parallel:
 	$(GO) test -bench='BenchmarkMIPSolve|BenchmarkKWayPartition|BenchmarkFig3Workers' -benchmem
+
+# Profile one representative run: pprof CPU + heap, Go runtime trace,
+# and the Chrome trace of the pipeline itself.
+profile:
+	$(GO) run ./cmd/batchsched -app image -tasks 200 -sched bipartition \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -trace runtime.trace \
+		-obs-trace obs_trace.json -obs-metrics obs_metrics.json
+	@echo "wrote cpu.pprof mem.pprof runtime.trace obs_trace.json obs_metrics.json"
 
 figures:
 	$(GO) run ./cmd/paperfigs -quick

@@ -15,6 +15,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/sched/bipart"
 	"repro/internal/sched/ipsched"
+	"repro/internal/sched/jdp"
+	"repro/internal/sched/minmin"
 	"repro/internal/simplex"
 	"repro/internal/workload"
 )
@@ -58,6 +60,34 @@ func BenchmarkFig5b(b *testing.B) { benchFigure(b, experiments.Fig5b) }
 // BenchmarkFig6 regenerates Figure 6(a) and 6(b) (compute-node sweep:
 // batch time and per-task scheduling overhead).
 func BenchmarkFig6(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkSchedulers times one full pipeline run per scheme on the
+// same small IMAGE workload, reporting allocations and the simulated
+// makespan alongside ns/op. `make bench` parses this output into
+// BENCH_schedulers.json (see cmd/benchjson), giving CI a comparable
+// per-scheme performance trajectory across commits.
+func BenchmarkSchedulers(b *testing.B) {
+	for _, scheme := range []struct {
+		name string
+		mk   func() core.Scheduler
+	}{
+		{"IP", func() core.Scheduler {
+			ip := ipsched.New(3)
+			ip.AllocBudget = time.Second
+			ip.SelectBudget = 500 * time.Millisecond
+			return ip
+		}},
+		{"BiPartition", func() core.Scheduler { return bipart.New(3) }},
+		{"MinMin", func() core.Scheduler { return minmin.New() }},
+		{"JobDataPresent", func() core.Scheduler { return jdp.New() }},
+	} {
+		b.Run(scheme.name, func(b *testing.B) {
+			p := ablationProblem(b, 24, 0)
+			b.ReportAllocs()
+			runScheduler(b, p, scheme.mk(), "makespan_s")
+		})
+	}
+}
 
 // --- Ablation benches (DESIGN.md §5) ---------------------------------
 

@@ -9,23 +9,35 @@
 //	           -sched ip|bipartition|minmin|jdp [-disk-gb 40]
 //	           [-no-replication] [-ip-budget 20s] [-seed 1] [-v]
 //	           [-workers N]
+//	           [-obs-trace out.json] [-obs-metrics out.json] [-obs-gantt]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -workers sets the parallelism of the scheduler's solver (the IP
 // branch-and-bound portfolio, the hypergraph partitioner); 0 uses
 // every CPU, 1 forces the sequential solver. The schedule for a fixed
 // seed does not depend on the worker count (for the IP scheduler,
 // whenever its solves finish within budget).
+//
+// -obs-trace records every pipeline phase and simulated reservation
+// as Chrome trace-event JSON (open in Perfetto: ui.perfetto.dev);
+// -obs-metrics snapshots the run's counters/histograms as JSON;
+// -obs-gantt prints an ASCII Gantt of the simulated schedule.
+// -cpuprofile/-memprofile/-trace write the standard Go profiles.
+// Observation is write-only: the schedule is identical with or
+// without these flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched/bipart"
 	"repro/internal/sched/ipsched"
@@ -48,7 +60,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print workload statistics")
 	workers := flag.Int("workers", 0, "solver parallelism (0 = all CPUs, 1 = sequential)")
+	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of the run (view in Perfetto)")
+	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the run's metrics")
+	obsGantt := flag.Bool("obs-gantt", false, "print an ASCII Gantt of the simulated schedule")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	runtimeTrace := flag.String("trace", "", "write a Go runtime trace to this file")
 	flag.Parse()
+
+	stopProf, err := obs.Profiles{CPU: *cpuProfile, Mem: *memProfile, Runtime: *runtimeTrace}.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var tracer *obs.Trace
+	ob := core.Observer{}
+	if *obsTrace != "" || *obsGantt {
+		tracer = obs.New()
+		ob.Trace = tracer
+	}
+	if *obsMetrics != "" {
+		ob.Metrics = obs.NewMetrics()
+	}
 
 	var overlap workload.Overlap
 	switch strings.ToLower(*overlapName) {
@@ -63,7 +96,6 @@ func main() {
 	}
 
 	var b *batch.Batch
-	var err error
 	switch strings.ToLower(*app) {
 	case "sat":
 		b, err = workload.Sat(workload.SatConfig{NumTasks: *tasks, Overlap: overlap, NumStorage: *storageN, Seed: *seed})
@@ -94,10 +126,12 @@ func main() {
 		ip.AllocBudget = *ipBudget
 		ip.SelectBudget = *ipBudget / 2
 		ip.Workers = *workers
+		ip.Trace = ob.Trace
 		sched = ip
 	case "bipartition", "bipart":
 		bp := bipart.New(*seed)
 		bp.Workers = *workers
+		bp.Trace = ob.Trace
 		sched = bp
 	case "minmin":
 		sched = minmin.New()
@@ -117,7 +151,7 @@ func main() {
 			st.NumTasks, st.NumFiles, float64(st.TotalBytes)/float64(platform.GB), st.MeanFilesPerTask, st.Overlap*100)
 	}
 
-	res, err := core.Run(p, sched)
+	res, err := core.RunObserved(p, sched, ob)
 	if err != nil {
 		fatal("run: %v", err)
 	}
@@ -128,6 +162,40 @@ func main() {
 	fmt.Printf("remote transfers:     %d (%.2f GB)\n", res.RemoteTransfers, float64(res.RemoteBytes)/float64(platform.GB))
 	fmt.Printf("replications:         %d (%.2f GB)\n", res.ReplicaTransfers, float64(res.ReplicaBytes)/float64(platform.GB))
 	fmt.Printf("evictions:            %d\n", res.Evictions)
+
+	if *obsGantt {
+		fmt.Println()
+		if err := tracer.WriteASCIIGantt(os.Stdout, 100); err != nil {
+			fatal("gantt: %v", err)
+		}
+	}
+	if *obsTrace != "" {
+		if err := writeFile(*obsTrace, tracer.WriteChrome); err != nil {
+			fatal("obs-trace: %v", err)
+		}
+	}
+	if *obsMetrics != "" {
+		if err := writeFile(*obsMetrics, ob.Metrics.Snapshot().WriteJSON); err != nil {
+			fatal("obs-metrics: %v", err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal("profile: %v", err)
+	}
+}
+
+// writeFile creates path and streams write into it, reporting the
+// first error from either.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(format string, args ...interface{}) {

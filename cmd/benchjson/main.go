@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document, so CI can archive benchmark trajectories (per-scheme
+// ns/op, allocs/op, simulated makespan) as machine-readable artifacts.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkSchedulers -benchmem -benchtime=1x | benchjson -o BENCH_schedulers.json
+//
+// Non-benchmark lines (goos/goarch headers, PASS, ok) pass through
+// untouched to stdout so the human-readable output survives the pipe.
+// Each benchmark line becomes one entry:
+//
+//	{"name": "BenchmarkSchedulers/IP-8", "iterations": 1,
+//	 "metrics": {"ns/op": 1.2e8, "B/op": 3.4e6, "allocs/op": 5678, "makespan_s": 2.95}}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one parsed benchmark result line.
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to this file (default stdout only)")
+	flag.Parse()
+
+	entries, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc, err := json.MarshalIndent(map[string]any{"benchmarks": entries}, "", " ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchmark output from r, echoing every line to echo and
+// collecting the parsed results. A benchmark line has the shape
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   10 allocs/op   1.5 makespan_s
+//
+// i.e. a name starting with "Benchmark", an iteration count, then
+// value-unit pairs. Lines that do not parse are passed through only.
+func parse(r interface{ Read([]byte) (int, error) }, echo interface {
+	Write([]byte) (int, error)
+}) ([]entry, error) {
+	entries := []entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if e, ok := parseLine(line); ok {
+			entries = append(entries, e)
+		}
+	}
+	return entries, sc.Err()
+}
+
+// parseLine parses one benchmark result line; ok=false for any other
+// line.
+func parseLine(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return entry{}, false
+	}
+	return e, true
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkSchedulers/IP-8   1   123456789 ns/op   2048 B/op   17 allocs/op   2.950 makespan_s")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if e.Name != "BenchmarkSchedulers/IP-8" || e.Iterations != 1 {
+		t.Fatalf("got %+v", e)
+	}
+	want := map[string]float64{"ns/op": 123456789, "B/op": 2048, "allocs/op": 17, "makespan_s": 2.95}
+	for k, v := range want {
+		if e.Metrics[k] != v {
+			t.Errorf("metric %s = %g, want %g", k, e.Metrics[k], v)
+		}
+	}
+}
+
+func TestParseSkipsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro",
+		"PASS",
+		"ok  \trepro\t1.234s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestParseEchoes(t *testing.T) {
+	in := "goos: linux\nBenchmarkX-4 2 50 ns/op\nPASS\n"
+	var out strings.Builder
+	entries, err := parse(strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != in {
+		t.Errorf("echo mismatch:\n%q\nwant\n%q", out.String(), in)
+	}
+	if len(entries) != 1 || entries[0].Name != "BenchmarkX-4" || entries[0].Metrics["ns/op"] != 50 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}

@@ -7,22 +7,34 @@
 //
 //	paperfigs [-fig 3|4|5a|5b|6|all] [-quick] [-ip-budget 20s]
 //	          [-skip-ip] [-seed N] [-csv dir] [-workers N]
+//	          [-obs-trace out.json] [-obs-metrics out.json]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -workers fans the independent cells of each figure (and each
 // scheduler's internal solver) across N goroutines; 0 uses every CPU
 // and 1 reproduces the sequential run. Rows are identical for a given
 // seed regardless of the worker count.
+//
+// -obs-trace records every cell's pipeline phases and simulated
+// reservations into one Chrome trace-event JSON (open in Perfetto);
+// -obs-metrics writes the deterministically merged metric registry of
+// all cells. -cpuprofile/-memprofile/-trace write the standard Go
+// profiles. Observation is write-only: tables are identical with or
+// without these flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -34,9 +46,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
 	workers := flag.Int("workers", 0, "parallel workers for figure cells and solvers (0 = all CPUs, 1 = sequential)")
+	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of all cells (view in Perfetto)")
+	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the merged metric registry")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	runtimeTrace := flag.String("trace", "", "write a Go runtime trace to this file")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers}
+	stopProf, err := obs.Profiles{CPU: *cpuProfile, Mem: *memProfile, Runtime: *runtimeTrace}.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
+	var tracer *obs.Trace
+	ob := core.Observer{}
+	if *obsTrace != "" {
+		tracer = obs.New()
+		ob.Trace = tracer
+	}
+	if *obsMetrics != "" {
+		ob.Metrics = obs.NewMetrics()
+	}
+
+	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers, Obs: ob}
 	runners := map[string]func(experiments.Options) ([]*report.Table, error){
 		"3": experiments.Fig3, "4": experiments.Fig4,
 		"5a": experiments.Fig5a, "5b": experiments.Fig5b,
@@ -52,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	start := time.Now()
+	start := time.Now() //schedlint:allow tracepurity wall-clock total reported to the user, never fed back into scheduling
 	for _, f := range order {
 		tables, err := runners[f](opts)
 		if err != nil {
@@ -69,7 +102,38 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\ntotal time: %v\n", time.Since(start).Round(time.Second))
+	fmt.Printf("\ntotal time: %v\n", time.Since(start).Round(time.Second)) //schedlint:allow tracepurity same wall-clock report as above
+
+	if *obsTrace != "" {
+		if err := writeObs(*obsTrace, tracer.WriteChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *obsMetrics != "" {
+		if err := writeObs(*obsMetrics, ob.Metrics.Snapshot().WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeObs creates path and streams write into it, reporting the first
+// error from either.
+func writeObs(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir string, t *report.Table) error {

@@ -2,9 +2,9 @@
 // contract: fixed seed ⇒ identical schedules at any worker count. It
 // loads every package of the module with go/parser + go/types (no
 // external dependencies, no subprocesses) and reports violations of
-// four project-specific rules — detrange, nowallclock, mergeorder,
-// floataccum — with file:line:col positions. Individual lines are
-// waived with
+// five project-specific rules — detrange, nowallclock, mergeorder,
+// floataccum, tracepurity — with file:line:col positions. Individual
+// lines are waived with
 //
 //	//schedlint:allow <check>[,<check>...] <reason>
 //

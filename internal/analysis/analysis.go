@@ -11,6 +11,9 @@
 //	              depends on goroutine scheduling rather than worker index
 //	floataccum  — float += accumulation in map-iteration order
 //	              (order-dependent rounding)
+//	tracepurity — wall-clock reads anywhere outside internal/obs, the
+//	              module's designated clock boundary; every other site
+//	              must carry an annotated justification
 //
 // Findings are suppressed line-by-line with
 //
@@ -78,6 +81,7 @@ var allChecks = []check{
 	{name: "nowallclock", deterministicOnly: true, run: runNoWallClock},
 	{name: "mergeorder", deterministicOnly: false, run: runMergeOrder},
 	{name: "floataccum", deterministicOnly: true, run: runFloatAccum},
+	{name: "tracepurity", deterministicOnly: false, run: runTracePurity},
 }
 
 // CheckNames returns the registered check names.

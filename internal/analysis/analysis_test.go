@@ -120,6 +120,28 @@ func TestAllSuppression(t *testing.T) {
 	}
 }
 
+// TestTracePurityObsExempt proves internal/obs is the designated clock
+// boundary: the fixture that yields findings under any other import
+// path yields none when loaded as the obs package itself.
+func TestTracePurityObsExempt(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("repro/internal/obs", filepath.Join("testdata", "src", "tracepurity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, Config{Checks: []string{"tracepurity"}})
+	for _, f := range findings {
+		t.Errorf("tracepurity fired inside the obs package: %s", f)
+	}
+}
+
 // TestRepoIsClean is the acceptance gate behind `make lint`: the
 // analyzer, with the default configuration, reports zero findings on
 // the repository itself.

@@ -1,0 +1,35 @@
+// Package tracepurity is a schedlint golden-test fixture for the
+// tracepurity check: wall-clock reads fire anywhere outside
+// internal/obs; annotated sites and pure time arithmetic do not.
+package tracepurity
+
+import "time"
+
+// badClock reads the wall clock twice. Two findings.
+func badClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// badUntil reads the clock through time.Until. One finding.
+func badUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline)
+}
+
+// goodArithmetic computes on time values passed in — methods on
+// time.Time never read the clock.
+func goodArithmetic(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// goodUnits uses the time package only for duration constants.
+func goodUnits() time.Duration {
+	return 3 * time.Second
+}
+
+// suppressedClock is the user-facing timing case — annotated with its
+// justification, no finding.
+func suppressedClock() time.Time {
+	//schedlint:allow tracepurity fixture: wall-clock total printed to the user only
+	return time.Now()
+}

@@ -4,9 +4,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/batch"
 	"repro/internal/gantt"
+	"repro/internal/obs"
 )
 
 // ExecStats reports what the runtime stage did for one sub-batch.
@@ -40,11 +42,8 @@ type ExecStats struct {
 // the disk cache, task completion is marked, and the state clock
 // advances by the sub-batch makespan.
 func Execute(st *State, plan *SubPlan) (*ExecStats, error) {
-	e, err := newExecutor(st, plan, false)
-	if err != nil {
-		return nil, err
-	}
-	return e.run()
+	stats, _, err := ExecuteObserved(st, plan, false, obs.Nop)
+	return stats, err
 }
 
 // ExecuteTraced is Execute plus a full gantt.Schedule record of what
@@ -53,7 +52,17 @@ func Execute(st *State, plan *SubPlan) (*ExecStats, error) {
 // (no port overlap, disk capacity respected, inputs staged before
 // start) against the exact schedule the runtime stage produced.
 func ExecuteTraced(st *State, plan *SubPlan) (*ExecStats, *gantt.Schedule, error) {
-	e, err := newExecutor(st, plan, true)
+	return ExecuteObserved(st, plan, true, obs.Nop)
+}
+
+// ExecuteObserved is the general runtime-stage entry point: traced
+// selects the gantt.Schedule record (nil otherwise), and tr receives
+// one simulated-time span per committed port reservation — remote
+// transfers on the storage/compute/link tracks, replica transfers on
+// both compute tracks, task executions on their node's track — with
+// absolute batch timestamps. Observation never alters the schedule.
+func ExecuteObserved(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*ExecStats, *gantt.Schedule, error) {
+	e, err := newExecutor(st, plan, traced, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,14 +102,27 @@ type executor struct {
 	// trace, when non-nil, accumulates the committed schedule for
 	// post-hoc validation.
 	trace *gantt.Schedule
+	// tr receives simulated-time spans for committed reservations.
+	tr obs.Tracer
 }
 
-func newExecutor(st *State, plan *SubPlan, traced bool) (*executor, error) {
+func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*executor, error) {
 	if len(plan.Tasks) == 0 {
 		return nil, fmt.Errorf("core: empty sub-batch plan")
 	}
 	p := st.P
-	e := &executor{st: st, plan: plan}
+	e := &executor{st: st, plan: plan, tr: obs.OrNop(tr)}
+	if e.tr.Enabled() {
+		for s := range p.Platform.Storage {
+			e.tr.NameTrack(obs.DomainSim, obs.StorageTrack(s), "storage "+strconv.Itoa(s))
+		}
+		for n := range p.Platform.Compute {
+			e.tr.NameTrack(obs.DomainSim, obs.ComputeTrack(n), "compute "+strconv.Itoa(n))
+		}
+		if p.Platform.SharedLinkBW > 0 {
+			e.tr.NameTrack(obs.DomainSim, obs.TrackLink, "wide-area link")
+		}
+	}
 	for range p.Platform.Storage {
 		e.storageTL = append(e.storageTL, gantt.NewTimeline())
 	}
@@ -342,6 +364,16 @@ func (v *schedEnv) remoteTransfer(f batch.FileID, dst int) (float64, error) {
 		if v.e.trace != nil {
 			v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
 		}
+		if v.e.tr.Enabled() {
+			b := v.e.base()
+			name := "stage file " + strconv.Itoa(int(f))
+			args := []obs.Arg{obs.A("file", int(f)), obs.A("bytes", size), obs.A("dst", dst)}
+			v.e.tr.SimSpan(obs.StorageTrack(home), "remote", name, b+start, b+start+dur, args...)
+			v.e.tr.SimSpan(obs.ComputeTrack(dst), "remote", name, b+start, b+start+dur, args...)
+			if v.e.linkTL != nil {
+				v.e.tr.SimSpan(obs.TrackLink, "remote", name, b+start, b+start+dur, args...)
+			}
+		}
 	} else {
 		v.reserve(v.e.storageTL[home], start, dur, tagTransfer)
 		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
@@ -368,6 +400,13 @@ func (v *schedEnv) replicaTransfer(f batch.FileID, src, dst int, srcAt float64) 
 		v.e.stats.ReplicaBytes += size
 		if v.e.trace != nil {
 			v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
+		}
+		if v.e.tr.Enabled() {
+			b := v.e.base()
+			name := "replicate file " + strconv.Itoa(int(f))
+			args := []obs.Arg{obs.A("file", int(f)), obs.A("bytes", size), obs.A("src", src), obs.A("dst", dst)}
+			v.e.tr.SimSpan(obs.ComputeTrack(src), "replica", name, b+start, b+start+dur, args...)
+			v.e.tr.SimSpan(obs.ComputeTrack(dst), "replica", name, b+start, b+start+dur, args...)
 		}
 	} else {
 		v.reserve(v.e.computeTL[src], start, dur, tagTransfer)
@@ -459,6 +498,12 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 				inputs[i] = int(f)
 			}
 			e.trace.Tasks = append(e.trace.Tasks, gantt.TaskEvent{Task: int(t), Node: c, Start: start, End: start + execDur, Inputs: inputs})
+		}
+		if e.tr.Enabled() {
+			b := e.base()
+			e.tr.SimSpan(obs.ComputeTrack(c), "exec", "task "+strconv.Itoa(int(t)),
+				b+start, b+start+execDur,
+				obs.A("task", int(t)), obs.A("node", c), obs.A("inputs", len(task.Files)))
 		}
 	}
 	return start + execDur, nil

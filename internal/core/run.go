@@ -2,10 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/batch"
-	"repro/internal/gantt"
+	"repro/internal/obs"
 )
 
 // Result aggregates one full batch run: the three-stage pipeline
@@ -33,11 +34,27 @@ type Result struct {
 }
 
 // SchedulingMSPerTask returns the paper's Figure 6(b) metric.
+// Computed from fractional milliseconds: Duration.Milliseconds()
+// truncates, which would report 0 for any scheduler faster than 1 ms
+// per task overall.
 func (r *Result) SchedulingMSPerTask() float64 {
 	if r.TaskCount == 0 {
 		return 0
 	}
-	return float64(r.SchedulingTime.Milliseconds()) / float64(r.TaskCount)
+	return r.SchedulingTime.Seconds() * 1000 / float64(r.TaskCount)
+}
+
+// Observer bundles the optional observability sinks for a run. The
+// zero value observes nothing at zero cost. Observation is write-only:
+// neither sink ever feeds information back into scheduling, so an
+// observed run commits exactly the schedule an unobserved one does
+// (pinned by TestObservedRunsMatchUnobserved).
+type Observer struct {
+	// Trace receives spans and instant events from every pipeline
+	// phase; nil means no tracing.
+	Trace obs.Tracer
+	// Metrics receives counters/gauges/histograms; nil means none.
+	Metrics *obs.Metrics
 }
 
 // Run executes the complete three-stage pipeline of the paper: the
@@ -52,6 +69,19 @@ func Run(p *Problem, s Scheduler) (*Result, error) {
 		return nil, err
 	}
 	return RunFrom(st, s, p.Batch.AllTasks())
+}
+
+// RunObserved is Run with an Observer attached: the tracer records
+// every pipeline phase (plan, execute, evict, plus the simulated
+// transfer/task reservations) and the metrics registry accumulates
+// phase latencies and transfer totals. The committed schedule is
+// identical to Run's.
+func RunObserved(p *Problem, s Scheduler, ob Observer) (*Result, error) {
+	st, err := NewState(p)
+	if err != nil {
+		return nil, err
+	}
+	return runFrom(st, s, p.Batch.AllTasks(), false, ob)
 }
 
 // RunChecked is Run with the gantt schedule validator enabled: every
@@ -74,48 +104,66 @@ func RunChecked(p *Problem, s Scheduler) (*Result, error) {
 // explicit pending-task set, allowing callers to chain batches over a
 // warm disk cache.
 func RunFrom(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
-	return runFrom(st, s, pending, false)
+	return runFrom(st, s, pending, false, Observer{})
 }
 
 // RunFromChecked is RunFrom with the gantt schedule validator enabled.
 func RunFromChecked(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
-	return runFrom(st, s, pending, true)
+	return runFrom(st, s, pending, true, Observer{})
 }
 
-func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool) (*Result, error) {
+func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool, ob Observer) (*Result, error) {
+	tr := obs.OrNop(ob.Trace)
+	if tr.Enabled() {
+		tr.NameTrack(obs.DomainReal, obs.TrackSched, "scheduler ("+s.Name()+")")
+		tr.NameTrack(obs.DomainSim, obs.TrackBatch, "sub-batches")
+	}
 	res := &Result{Scheduler: s.Name(), TaskCount: len(pending)}
 	pendingSet := make(map[batch.TaskID]bool, len(pending))
 	for _, t := range pending {
 		pendingSet[t] = true
 	}
 	for len(pending) > 0 {
-		//schedlint:allow nowallclock measures real scheduling overhead (Fig 6(b) metric); never feeds placement decisions
+		endPlan := tr.Span(obs.TrackSched, "phase", "plan",
+			obs.A("pending", len(pending)), obs.A("sub_batch", res.SubBatches))
+		//schedlint:allow nowallclock,tracepurity measures real scheduling overhead (Fig 6(b) metric); never feeds placement decisions
 		t0 := time.Now()
 		plan, err := s.PlanSubBatch(st, pending)
-		res.SchedulingTime += time.Since(t0) //schedlint:allow nowallclock overhead metric only
+		elapsed := time.Since(t0) //schedlint:allow nowallclock,tracepurity overhead metric only
+		res.SchedulingTime += elapsed
+		ob.Metrics.Observe("core.plan_ms", elapsed.Seconds()*1000)
 		if err != nil {
+			endPlan(obs.A("error", err.Error()))
 			return nil, fmt.Errorf("core: %s failed to plan a sub-batch with %d tasks pending: %w", s.Name(), len(pending), err)
 		}
 		if plan == nil || len(plan.Tasks) == 0 {
+			endPlan()
 			return nil, fmt.Errorf("core: %s returned an empty sub-batch with %d tasks pending", s.Name(), len(pending))
 		}
+		endPlan(obs.A("planned_tasks", len(plan.Tasks)))
 		for _, t := range plan.Tasks {
 			if !pendingSet[t] {
 				return nil, fmt.Errorf("core: %s planned task %d which is not pending", s.Name(), t)
 			}
 		}
-		var stats *ExecStats
-		if checked {
-			var sched *gantt.Schedule
-			stats, sched, err = ExecuteTraced(st, plan)
-			if err == nil {
-				err = sched.Err()
-			}
-		} else {
-			stats, err = Execute(st, plan)
+		clockBefore := st.Clock
+		endExec := tr.Span(obs.TrackSched, "phase", "execute",
+			obs.A("tasks", len(plan.Tasks)))
+		stats, sched, err := ExecuteObserved(st, plan, checked, tr)
+		if err == nil && checked {
+			err = sched.Err()
 		}
+		endExec()
 		if err != nil {
 			return nil, fmt.Errorf("core: executing %s sub-batch %d: %w", s.Name(), res.SubBatches, err)
+		}
+		if tr.Enabled() {
+			tr.SimSpan(obs.TrackBatch, "batch", "sub-batch "+strconv.Itoa(res.SubBatches),
+				clockBefore, st.Clock,
+				obs.A("tasks", len(plan.Tasks)),
+				obs.A("makespan_s", stats.Makespan),
+				obs.A("remote_transfers", stats.RemoteTransfers),
+				obs.A("replica_transfers", stats.ReplicaTransfers))
 		}
 		res.SubBatches++
 		res.Makespan += stats.Makespan
@@ -136,11 +184,23 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool) (*Res
 		pending = batch.SortedCopy(pending)
 
 		if len(pending) > 0 {
-			t0 = time.Now() //schedlint:allow nowallclock overhead metric only
+			endEvict := tr.Span(obs.TrackSched, "phase", "evict")
+			t0 = time.Now() //schedlint:allow nowallclock,tracepurity overhead metric only
 			s.Evict(st, pending)
-			res.SchedulingTime += time.Since(t0) //schedlint:allow nowallclock overhead metric only
+			elapsed = time.Since(t0) //schedlint:allow nowallclock,tracepurity overhead metric only
+			res.SchedulingTime += elapsed
+			ob.Metrics.Observe("core.evict_ms", elapsed.Seconds()*1000)
+			endEvict()
 		}
 	}
 	res.Evictions = st.Evictions
+	ob.Metrics.Count("core.tasks", int64(res.TaskCount))
+	ob.Metrics.Count("core.sub_batches", int64(res.SubBatches))
+	ob.Metrics.Count("core.remote_transfers", int64(res.RemoteTransfers))
+	ob.Metrics.Count("core.remote_bytes", res.RemoteBytes)
+	ob.Metrics.Count("core.replica_transfers", int64(res.ReplicaTransfers))
+	ob.Metrics.Count("core.replica_bytes", res.ReplicaBytes)
+	ob.Metrics.Count("core.evictions", int64(res.Evictions))
+	ob.Metrics.SetGauge("core.makespan_s", res.Makespan)
 	return res, nil
 }

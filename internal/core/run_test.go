@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SchedulingMSPerTask must keep sub-millisecond resolution:
+// Duration.Milliseconds() truncates, which used to report 0 ms/task
+// for any batch planned in under 1 ms total.
+func TestSchedulingMSPerTaskSubMillisecond(t *testing.T) {
+	r := &core.Result{SchedulingTime: 500 * time.Microsecond, TaskCount: 100}
+	got := r.SchedulingMSPerTask()
+	want := 0.005 // 0.5 ms over 100 tasks
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SchedulingMSPerTask() = %g, want %g", got, want)
+	}
+	if got == 0 {
+		t.Fatal("sub-millisecond scheduling time truncated to 0")
+	}
+
+	r = &core.Result{SchedulingTime: 1500 * time.Millisecond, TaskCount: 3}
+	if got, want := r.SchedulingMSPerTask(), 500.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SchedulingMSPerTask() = %g, want %g", got, want)
+	}
+
+	r = &core.Result{SchedulingTime: time.Second, TaskCount: 0}
+	if got := r.SchedulingMSPerTask(); got != 0 {
+		t.Fatalf("SchedulingMSPerTask() with zero tasks = %g, want 0", got)
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// Table rows are merged in fixed order and every cell re-derives
 	// its inputs from Seed, so Workers never changes the rows.
 	Workers int
+	// Obs attaches optional observability sinks to every cell run. The
+	// tracer is shared across cells (its export sorts canonically);
+	// metrics are recorded into a private per-cell registry and merged
+	// into Obs.Metrics in cell-index order, so the aggregate snapshot
+	// is identical at any worker count.
+	Obs core.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -72,12 +78,13 @@ func (o Options) tasks(full int) int {
 	return full
 }
 
-// run executes one (problem, scheduler) pair.
-func run(p *core.Problem, s core.Scheduler) (*core.Result, error) {
+// run executes one (problem, scheduler) pair under the cell's
+// observer (zero Observer = unobserved, same schedule either way).
+func run(p *core.Problem, s core.Scheduler, ob core.Observer) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return core.Run(p, s)
+	return core.RunObserved(p, s, ob)
 }
 
 // schedSpec names one scheduler column and builds fresh instances of
@@ -97,6 +104,7 @@ func schedulerSet(o Options) []schedSpec {
 			ip.AllocBudget = o.IPBudget
 			ip.SelectBudget = o.IPBudget / 2
 			ip.Workers = o.Workers
+			ip.Trace = o.Obs.Trace
 			return ip
 		}})
 	}
@@ -104,6 +112,7 @@ func schedulerSet(o Options) []schedSpec {
 		schedSpec{name: "BiPartition", make: func() core.Scheduler {
 			bp := bipart.New(o.Seed + 200)
 			bp.Workers = o.Workers
+			bp.Trace = o.Obs.Trace
 			return bp
 		}},
 		schedSpec{name: "MinMin", make: func() core.Scheduler { return minmin.New() }},
@@ -152,14 +161,14 @@ func overlapFigure(o Options, app string, pf func() *platform.Platform,
 	}
 	// One cell per (overlap row × scheduler column); each regenerates
 	// its workload from the seed, so cells share no state.
-	err := forEachCell(o.Workers, len(overlaps)*len(ss), func(i int) error {
+	err := forEachCellObserved(o.Workers, len(overlaps)*len(ss), o.Obs, func(i int, ob core.Observer) error {
 		r, c := i/len(ss), i%len(ss)
 		ov := overlaps[r]
 		b, err := gen(ov)
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make())
+		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make(), ob)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%v: %w", app, ss[c].name, ov, err)
 		}
@@ -233,7 +242,7 @@ func Fig5a(o Options) ([]*report.Table, error) {
 		vals[r] = make([]float64, 2)
 	}
 	// One cell per (application × replication mode).
-	err := forEachCell(o.Workers, len(apps)*2, func(i int) error {
+	err := forEachCellObserved(o.Workers, len(apps)*2, o.Obs, func(i int, ob core.Observer) error {
 		r, c := i/2, i%2
 		var b *batch.Batch
 		var err error
@@ -253,7 +262,8 @@ func Fig5a(o Options) ([]*report.Table, error) {
 		}
 		s := bipart.New(o.Seed + 300)
 		s.Workers = o.Workers
-		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s)
+		s.Trace = o.Obs.Trace
+		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s, ob)
 		if err != nil {
 			return err
 		}
@@ -293,6 +303,7 @@ func Fig5b(o Options) ([]*report.Table, error) {
 		{name: "BiPartition", make: func() core.Scheduler {
 			bp := bipart.New(o.Seed + 400)
 			bp.Workers = o.Workers
+			bp.Trace = o.Obs.Trace
 			return bp
 		}},
 		{name: "MinMin", make: func() core.Scheduler { return minmin.New() }},
@@ -308,14 +319,14 @@ func Fig5b(o Options) ([]*report.Table, error) {
 	for r := range vals {
 		vals[r] = make([]float64, len(ss))
 	}
-	err := forEachCell(o.Workers, len(sizes)*len(ss), func(i int) error {
+	err := forEachCellObserved(o.Workers, len(sizes)*len(ss), o.Obs, func(i int, ob core.Observer) error {
 		r, c := i/len(ss), i%len(ss)
 		n := sizes[r]
 		b, err := makeImage(o, n, 4, workload.HighOverlap)
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make())
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make(), ob)
 		if err != nil {
 			return fmt.Errorf("fig5b %s n=%d: %w", ss[c].name, n, err)
 		}
@@ -364,7 +375,7 @@ func Fig6(o Options) ([]*report.Table, error) {
 		valsB[r] = make([]float64, len(ss))
 		miss[r] = make([]bool, len(ss))
 	}
-	err := forEachCell(o.Workers, len(nodes)*len(ss), func(i int) error {
+	err := forEachCellObserved(o.Workers, len(nodes)*len(ss), o.Obs, func(i int, ob core.Observer) error {
 		r, c := i/len(ss), i%len(ss)
 		C := nodes[r]
 		if ss[c].isIP && C > ipMaxNodes {
@@ -375,7 +386,7 @@ func Fig6(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make())
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make(), ob)
 		if err != nil {
 			return fmt.Errorf("fig6 %s C=%d: %w", ss[c].name, C, err)
 		}

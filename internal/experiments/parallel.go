@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // forEachCell runs f(0..n−1) — one call per (row, scheduler) cell of a
@@ -50,4 +53,31 @@ func forEachCell(workers, n int, f func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// forEachCellObserved is forEachCell with deterministic metric
+// aggregation: each cell records into a private registry, and after
+// all cells finish the registries merge into root.Metrics in
+// cell-index order — counters and histograms are commutative anyway,
+// and gauges get a fixed last-writer — so the aggregate snapshot is
+// identical at any worker count. The tracer is passed through shared:
+// its export sorts events canonically, so concurrent recording is
+// safe there too.
+func forEachCellObserved(workers, n int, root core.Observer, f func(i int, ob core.Observer) error) error {
+	if root.Metrics == nil {
+		return forEachCell(workers, n, func(i int) error {
+			return f(i, core.Observer{Trace: root.Trace})
+		})
+	}
+	cells := make([]*obs.Metrics, n)
+	for i := range cells {
+		cells[i] = obs.NewMetrics()
+	}
+	err := forEachCell(workers, n, func(i int) error {
+		return f(i, core.Observer{Trace: root.Trace, Metrics: cells[i]})
+	})
+	for _, m := range cells {
+		root.Metrics.Merge(m)
+	}
+	return err
 }

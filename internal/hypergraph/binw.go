@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // PartitionBINW computes a Bounded Incident Net Weight partition
@@ -38,6 +40,10 @@ type BINWOptions struct {
 	// Workers bounds the goroutines used for the independent sub-
 	// bisections (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
+	// Trace, when non-nil, receives one span per multilevel bisection
+	// (coarsen/initial/refine instants with cut values). Observability
+	// only: the partition never depends on it.
+	Trace obs.Tracer
 }
 
 // binwLeaf is one finished part of the recursion: the original vertex
@@ -65,7 +71,7 @@ func PartitionBINWOpt(h *Hypergraph, bound int64, opt BINWOptions) ([]int, int, 
 	}
 	c := &binwCollector{}
 	pool := newWorkPool(opt.Workers)
-	recurseBINW(h, vid, bound, opt.Eps, opt.Seed, "", pool, c)
+	recurseBINW(h, vid, bound, opt.Eps, opt.Seed, "", pool, c, obs.OrNop(opt.Trace))
 	sort.Slice(c.leaves, func(i, j int) bool { return c.leaves[i].path < c.leaves[j].path })
 	for id, leaf := range c.leaves {
 		for _, v := range leaf.vids {
@@ -100,13 +106,13 @@ func incidentTotal(h *Hypergraph) int64 {
 	return sum
 }
 
-func recurseBINW(h *Hypergraph, vid []int32, bound int64, eps float64, seed int64, path string, pool *workPool, c *binwCollector) {
+func recurseBINW(h *Hypergraph, vid []int32, bound int64, eps float64, seed int64, path string, pool *workPool, c *binwCollector, tr obs.Tracer) {
 	if incidentTotal(h) <= bound || h.NumV == 1 {
 		c.add(path, vid)
 		return
 	}
 	rng := rand.New(rand.NewSource(splitSeed(seed, 2)))
-	side := multilevelBisect(h, balanceIncident, 0.5, eps, rng, false)
+	side := multilevelBisect(h, balanceIncident, 0.5, eps, rng, false, tr)
 	// Guard against a degenerate bisection leaving one side empty,
 	// which would recurse forever: peel off the heaviest vertex.
 	n0 := 0
@@ -125,7 +131,7 @@ func recurseBINW(h *Hypergraph, vid []int32, bound int64, eps float64, seed int6
 	h0, vid0 := extractSide(h, vid, side, 0)
 	h1, vid1 := extractSide(h, vid, side, 1)
 	pool.fork(
-		func() { recurseBINW(h0, vid0, bound, eps, splitSeed(seed, 0), path+"0", pool, c) },
-		func() { recurseBINW(h1, vid1, bound, eps, splitSeed(seed, 1), path+"1", pool, c) },
+		func() { recurseBINW(h0, vid0, bound, eps, splitSeed(seed, 0), path+"0", pool, c, tr) },
+		func() { recurseBINW(h1, vid1, bound, eps, splitSeed(seed, 1), path+"1", pool, c, tr) },
 	)
 }

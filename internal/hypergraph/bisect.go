@@ -3,6 +3,8 @@ package hypergraph
 import (
 	"container/heap"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // balanceMode selects the quantity the bisection balances.
@@ -279,10 +281,25 @@ func (b *bisection) refineFM(maxPasses int) {
 // target targetFrac (of total balance weight) and imbalance tolerance
 // eps, minimizing cut net weight. Multiple initial-partition trials
 // keep the best result.
-func multilevelBisect(h *Hypergraph, mode balanceMode, targetFrac, eps float64, rng *rand.Rand, noRefine bool) []int {
+func multilevelBisect(h *Hypergraph, mode balanceMode, targetFrac, eps float64, rng *rand.Rand, noRefine bool, tr obs.Tracer) []int {
+	// Concurrent recursion branches each allocate their own track so
+	// their passes do not interleave on one trace row. Observability
+	// only: the partition never depends on the tracer.
+	traceOn := tr.Enabled()
+	tid := 0
+	var endSpan obs.EndFunc = func(...obs.Arg) {}
+	if traceOn {
+		tid = tr.AllocTrack(obs.DomainReal, "bisect")
+		endSpan = tr.Span(tid, "partition", "multilevel bisect",
+			obs.A("vertices", h.NumV), obs.A("nets", h.NumN))
+	}
 	const coarsenTarget = 80
 	levels, maps := coarsenTo(h, coarsenTarget, rng)
 	coarsest := levels[len(levels)-1]
+	if traceOn {
+		tr.Instant(tid, "partition", "coarsened",
+			obs.A("levels", len(levels)), obs.A("coarse_vertices", coarsest.NumV))
+	}
 
 	// Initial partitioning on the coarsest level: several GHG trials,
 	// keep the lowest feasible cut.
@@ -301,9 +318,14 @@ func multilevelBisect(h *Hypergraph, mode balanceMode, targetFrac, eps float64, 
 			best = append(best[:0:0], b.part...)
 		}
 	}
+	if traceOn {
+		tr.Instant(tid, "partition", "initial partition",
+			obs.A("trials", trials), obs.A("cut", bestCut))
+	}
 
 	// Uncoarsen with FM refinement at each level.
 	part := best
+	finalCut := bestCut
 	for lev := len(levels) - 2; lev >= 0; lev-- {
 		fine := levels[lev]
 		m := maps[lev]
@@ -318,6 +340,12 @@ func multilevelBisect(h *Hypergraph, mode balanceMode, targetFrac, eps float64, 
 			b.refineFM(3)
 		}
 		part = b.part
+		finalCut = b.cut
+		if traceOn {
+			tr.Instant(tid, "partition", "refine level",
+				obs.A("level", lev), obs.A("vertices", fine.NumV), obs.A("cut", b.cut))
+		}
 	}
+	endSpan(obs.A("cut", finalCut))
 	return part
 }

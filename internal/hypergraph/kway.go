@@ -3,6 +3,8 @@ package hypergraph
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // PartitionKWay divides h into k parts minimizing the connectivity-1
@@ -29,6 +31,10 @@ type KWayOptions struct {
 	// right sub-bisections of the recursion (0 = GOMAXPROCS, 1 =
 	// sequential).
 	Workers int
+	// Trace, when non-nil, receives one span per multilevel bisection
+	// (coarsen/initial/refine instants with cut values). Observability
+	// only: the partition never depends on it.
+	Trace obs.Tracer
 }
 
 // PartitionKWayOpt is PartitionKWay with explicit options.
@@ -45,7 +51,7 @@ func PartitionKWayOpt(h *Hypergraph, k int, opt KWayOptions) ([]int, error) {
 		vid[i] = int32(i)
 	}
 	pool := newWorkPool(opt.Workers)
-	recurseKWay(h, vid, k, 0, opt.Eps, opt.Seed, pool, part, opt.NoRefine)
+	recurseKWay(h, vid, k, 0, opt.Eps, opt.Seed, pool, part, opt.NoRefine, obs.OrNop(opt.Trace))
 	return part, nil
 }
 
@@ -54,7 +60,7 @@ func PartitionKWayOpt(h *Hypergraph, k int, opt KWayOptions) ([]int, error) {
 // starting at base into out. The two sub-recursions touch disjoint
 // vertex sets (hence disjoint out entries) and run concurrently when
 // the pool has a free worker.
-func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, seed int64, pool *workPool, out []int, noRefine bool) {
+func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, seed int64, pool *workPool, out []int, noRefine bool, tr obs.Tracer) {
 	if k == 1 {
 		for _, v := range vid {
 			out[v] = base
@@ -79,12 +85,12 @@ func recurseKWay(h *Hypergraph, vid []int32, k, base int, eps float64, seed int6
 		levelEps = eps / 1.5
 	}
 	rng := rand.New(rand.NewSource(splitSeed(seed, 2)))
-	side := multilevelBisect(h, balanceVertex, frac, levelEps, rng, noRefine)
+	side := multilevelBisect(h, balanceVertex, frac, levelEps, rng, noRefine, tr)
 	h0, vid0 := extractSide(h, vid, side, 0)
 	h1, vid1 := extractSide(h, vid, side, 1)
 	pool.fork(
-		func() { recurseKWay(h0, vid0, k0, base, eps, splitSeed(seed, 0), pool, out, noRefine) },
-		func() { recurseKWay(h1, vid1, k1, base+k0, eps, splitSeed(seed, 1), pool, out, noRefine) },
+		func() { recurseKWay(h0, vid0, k0, base, eps, splitSeed(seed, 0), pool, out, noRefine, tr) },
+		func() { recurseKWay(h1, vid1, k1, base+k0, eps, splitSeed(seed, 1), pool, out, noRefine, tr) },
 	)
 }
 

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simplex"
 )
 
@@ -135,6 +136,10 @@ type Options struct {
 	LP simplex.Options
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Trace, when non-nil, receives per-worker dive spans and
+	// incumbent-improvement instants. Observability only: the search
+	// never reads it for decisions.
+	Trace obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -175,14 +180,19 @@ func (m *Model) Solve(opt Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	//schedlint:allow nowallclock anchors Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
-	s := &search{m: m, lp: lp, opt: opt, start: time.Now(), bestObj: math.Inf(1)}
+	tr := obs.OrNop(opt.Trace)
+	//schedlint:allow nowallclock,tracepurity anchors Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
+	s := &search{m: m, lp: lp, opt: opt, start: time.Now(), bestObj: math.Inf(1), tr: tr}
 	if opt.WarmStart != nil {
 		if obj, ok := m.CheckFeasible(opt.WarmStart, 1e-6); ok {
 			s.setIncumbent(opt.WarmStart, s.internalObj(obj))
 		}
 	}
+	tr.NameTrack(obs.DomainReal, obs.SolverTrack(0), "mip worker 0")
+	end := tr.Span(obs.SolverTrack(0), "solver", "b&b dive",
+		obs.A("vars", len(m.obj)), obs.A("workers", 1))
 	s.run()
+	end(obs.A("nodes", s.nodes), obs.A("hit_limit", s.hitLimit))
 	return s.solution(), nil
 }
 

@@ -3,10 +3,12 @@ package mip
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simplex"
 )
 
@@ -70,7 +72,8 @@ func (m *Model) solvePortfolio(opt Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now() //schedlint:allow nowallclock anchors Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
+	tr := obs.OrNop(opt.Trace)
+	start := time.Now() //schedlint:allow nowallclock,tracepurity anchors Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
 	var warm []float64
 	warmObj := math.Inf(1)
 	if opt.WarmStart != nil {
@@ -92,7 +95,7 @@ func (m *Model) solvePortfolio(opt Options) (*Solution, error) {
 		if w > 0 {
 			lp = cloneLPBounds(lp0)
 		}
-		s := &search{m: m, lp: lp, opt: opt, start: start, bestObj: math.Inf(1), shared: shared}
+		s := &search{m: m, lp: lp, opt: opt, start: start, bestObj: math.Inf(1), shared: shared, tr: tr, widx: w}
 		if w > 0 {
 			// Deterministic per-worker diversification: a fixed jitter
 			// stream keyed by the worker index reorders the branching,
@@ -110,11 +113,15 @@ func (m *Model) solvePortfolio(opt Options) (*Solution, error) {
 		searches[w] = s
 	}
 	var wg sync.WaitGroup
-	for _, s := range searches {
+	for w, s := range searches {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			tr.NameTrack(obs.DomainReal, obs.SolverTrack(w), "mip worker "+strconv.Itoa(w))
+			end := tr.Span(obs.SolverTrack(w), "solver", "b&b dive",
+				obs.A("worker", w), obs.A("vars", len(m.obj)))
 			s.run()
+			end(obs.A("nodes", s.nodes), obs.A("hit_limit", s.hitLimit))
 		}()
 	}
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simplex"
 )
 
@@ -36,10 +37,15 @@ type search struct {
 	rootBound  float64
 	rootSolved bool
 	hitLimit   bool
+
+	// tr/widx: observability only (per-worker incumbent instants on
+	// the worker's solver track); never consulted for search decisions.
+	tr   obs.Tracer
+	widx int
 }
 
 func (s *search) timeUp() bool {
-	//schedlint:allow nowallclock enforces Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
+	//schedlint:allow nowallclock,tracepurity enforces Options.TimeLimit, the documented wall-clock budget (DESIGN §7)
 	return s.opt.TimeLimit > 0 && time.Since(s.start) >= s.opt.TimeLimit
 }
 
@@ -49,6 +55,14 @@ func (s *search) setIncumbent(x []float64, objInternal float64) {
 		s.bestX = append(s.bestX[:0], x[:len(s.m.obj)]...)
 		if s.shared != nil {
 			s.shared.update(objInternal)
+		}
+		if s.tr != nil && s.tr.Enabled() {
+			obj := objInternal
+			if s.m.maximize {
+				obj = -obj
+			}
+			s.tr.Instant(obs.SolverTrack(s.widx), "solver", "incumbent",
+				obs.A("obj", obj), obs.A("nodes", s.nodes))
 		}
 	}
 }

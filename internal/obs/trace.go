@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// event is one recorded trace event, timestamps in microseconds
+// relative to the trace's own zero (wall-clock anchor for DomainReal,
+// simulated batch start for DomainSim).
+type event struct {
+	domain Domain
+	tid    int
+	phase  byte // 'X' complete, 'i' instant
+	cat    string
+	name   string
+	ts     float64 // µs
+	dur    float64 // µs, complete events only
+	args   []Arg
+	seq    uint64 // recording order, tie-breaker for stable export
+}
+
+// Trace is the collecting Tracer. All methods are safe for concurrent
+// use. The zero value is not usable; construct with New or NewSimOnly.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []event
+	names   map[Domain]map[int]string
+	nextID  int
+	seq     uint64
+	simOnly bool
+}
+
+// New returns a Trace recording both clock domains.
+func New() *Trace {
+	//schedlint:allow nowallclock,tracepurity the tracer is the designated wall-clock boundary; real-time spans are measured here and nowhere else
+	return &Trace{start: time.Now(), names: map[Domain]map[int]string{}, nextID: 1 << 20}
+}
+
+// NewSimOnly returns a Trace that silently drops DomainReal events and
+// keeps only simulated-time ones. Because simulated timestamps are a
+// pure function of the schedule, its export is byte-identical across
+// machines and worker counts — this is what the golden-file tests use.
+func NewSimOnly() *Trace {
+	t := New()
+	t.simOnly = true
+	return t
+}
+
+func (t *Trace) Enabled() bool { return true }
+
+// nowUS returns microseconds since the trace anchor.
+func (t *Trace) nowUS() float64 {
+	//schedlint:allow nowallclock,tracepurity the tracer is the designated wall-clock boundary; real-time spans are measured here and nowhere else
+	return float64(time.Since(t.start)) / float64(time.Microsecond)
+}
+
+func (t *Trace) record(ev event) {
+	t.mu.Lock()
+	ev.seq = t.seq
+	t.seq++
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+func (t *Trace) Span(tid int, cat, name string, args ...Arg) EndFunc {
+	if t.simOnly {
+		return nopEnd
+	}
+	begin := t.nowUS()
+	return func(end ...Arg) {
+		all := make([]Arg, 0, len(args)+len(end))
+		all = append(all, args...)
+		all = append(all, end...)
+		t.record(event{domain: DomainReal, tid: tid, phase: 'X', cat: cat, name: name,
+			ts: begin, dur: t.nowUS() - begin, args: all})
+	}
+}
+
+func (t *Trace) Instant(tid int, cat, name string, args ...Arg) {
+	if t.simOnly {
+		return
+	}
+	t.record(event{domain: DomainReal, tid: tid, phase: 'i', cat: cat, name: name,
+		ts: t.nowUS(), args: args})
+}
+
+func (t *Trace) SimSpan(tid int, cat, name string, start, end float64, args ...Arg) {
+	t.record(event{domain: DomainSim, tid: tid, phase: 'X', cat: cat, name: name,
+		ts: start * 1e6, dur: (end - start) * 1e6, args: args})
+}
+
+func (t *Trace) SimInstant(tid int, cat, name string, ts float64, args ...Arg) {
+	t.record(event{domain: DomainSim, tid: tid, phase: 'i', cat: cat, name: name,
+		ts: ts * 1e6, args: args})
+}
+
+func (t *Trace) NameTrack(d Domain, tid int, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.names[d]
+	if m == nil {
+		m = map[int]string{}
+		t.names[d] = m
+	}
+	if _, ok := m[tid]; !ok {
+		m[tid] = name
+	}
+}
+
+func (t *Trace) AllocTrack(d Domain, name string) int {
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	m := t.names[d]
+	if m == nil {
+		m = map[int]string{}
+		t.names[d] = m
+	}
+	m[id] = name
+	t.mu.Unlock()
+	return id
+}
+
+// chromeEvent is the trace-event JSON wire format (the subset Perfetto
+// and chrome://tracing consume). Fields follow the Trace Event Format
+// spec: ph "X" complete events with ts+dur, ph "i" instants, ph "M"
+// metadata naming processes and threads; ts/dur in microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+var domainNames = map[Domain]string{
+	DomainReal: "real time (scheduler)",
+	DomainSim:  "simulated time (runtime stage)",
+}
+
+// WriteChrome exports the trace as Chrome trace-event JSON. Events are
+// sorted into a canonical order (domain, track, timestamp, duration,
+// name, recording sequence) and args maps are serialized with sorted
+// keys by encoding/json, so for simulated-only traces the output bytes
+// depend solely on the recorded schedule.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]event, len(t.events))
+	copy(events, t.events)
+	names := make(map[Domain]map[int]string, len(t.names))
+	for d, m := range t.names {
+		nm := make(map[int]string, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		names[d] = nm
+	}
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.domain != b.domain {
+			return a.domain < b.domain
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.dur != b.dur {
+			return a.dur < b.dur
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.seq < b.seq
+	})
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	for _, d := range []Domain{DomainReal, DomainSim} {
+		if !t.domainUsed(events, names, d) {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: int(d),
+			Args: map[string]any{"name": domainNames[d]},
+		})
+		tids := make([]int, 0, len(names[d]))
+		for tid := range names[d] {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: int(d), TID: tid,
+				Args: map[string]any{"name": names[d][tid]},
+			})
+		}
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.name, Cat: ev.cat, TS: ev.ts,
+			PID: int(ev.domain), TID: ev.tid,
+		}
+		switch ev.phase {
+		case 'X':
+			ce.Phase = "X"
+			dur := ev.dur
+			ce.Dur = &dur
+		case 'i':
+			ce.Phase = "i"
+			ce.Scope = "t" // thread-scoped instant
+		}
+		if len(ev.args) > 0 {
+			ce.Args = make(map[string]any, len(ev.args))
+			for _, a := range ev.args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return nil
+}
+
+func (t *Trace) domainUsed(events []event, names map[Domain]map[int]string, d Domain) bool {
+	if len(names[d]) > 0 {
+		return true
+	}
+	for _, ev := range events {
+		if ev.domain == d {
+			return true
+		}
+	}
+	return false
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eviction"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // Scheduler is the BiPartition scheduler.
@@ -56,6 +57,10 @@ type Scheduler struct {
 	// pure function of Seed — Workers never changes the result, only
 	// the wall-clock time to compute it.
 	Workers int
+	// Trace, when non-nil, receives sub-batch-selection and
+	// task-mapping instants plus the partitioners' bisection spans.
+	// Observability only: the schedule never depends on it.
+	Trace obs.Tracer
 }
 
 // New returns a BiPartition scheduler with the paper's defaults.
@@ -78,15 +83,21 @@ func (s *Scheduler) Evict(st *core.State, pending []batch.TaskID) {
 
 // PlanSubBatch implements core.Scheduler.
 func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	tr := obs.OrNop(s.Trace)
 	sub, err := s.selectSubBatch(st, pending)
 	if err != nil {
 		return nil, err
 	}
+	tr.Instant(obs.TrackSched, "bipart", "sub-batch selected",
+		obs.A("pending", len(pending)), obs.A("selected", len(sub)))
 	assign, err := s.mapTasks(st, sub)
 	if err != nil {
 		return nil, err
 	}
+	before := len(assign)
 	assign = s.repairDisk(st, sub, assign)
+	tr.Instant(obs.TrackSched, "bipart", "tasks mapped",
+		obs.A("mapped", before), obs.A("after_repair", len(assign)))
 	if len(assign) == 0 {
 		// Repair dropped everything; guarantee progress by placing the
 		// single most-sharing task alone on the emptiest node.
@@ -133,7 +144,7 @@ func (s *Scheduler) selectSubBatch(st *core.State, pending []batch.TaskID) ([]ba
 		return s.greedySubBatch(st, pending, agg), nil
 	}
 	h, _, files := buildHypergraph(st, pending, nil)
-	part, np, err := hypergraph.PartitionBINWOpt(h, agg, hypergraph.BINWOptions{Eps: s.BINWEpsilon, Seed: s.Seed, Workers: s.Workers})
+	part, np, err := hypergraph.PartitionBINWOpt(h, agg, hypergraph.BINWOptions{Eps: s.BINWEpsilon, Seed: s.Seed, Workers: s.Workers, Trace: s.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +228,7 @@ func (s *Scheduler) mapTasks(st *core.State, sub []batch.TaskID) (map[batch.Task
 	K := st.P.Platform.NumCompute()
 	weights := s.vertexWeights(st, sub)
 	h, _, _ := buildHypergraph(st, sub, weights)
-	part, err := hypergraph.PartitionKWayOpt(h, K, hypergraph.KWayOptions{Eps: s.Epsilon, Seed: s.Seed + 1, Workers: s.Workers})
+	part, err := hypergraph.PartitionKWayOpt(h, K, hypergraph.KWayOptions{Eps: s.Epsilon, Seed: s.Seed + 1, Workers: s.Workers, Trace: s.Trace})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eviction"
 	"repro/internal/mip"
+	"repro/internal/obs"
 	"repro/internal/sched/bipart"
 )
 
@@ -35,6 +36,10 @@ type Scheduler struct {
 	// sequential). The solve is deterministic for a fixed seed
 	// whenever branch and bound runs to completion within its budget.
 	Workers int
+	// Trace, when non-nil, is handed down to the IP solver (per-worker
+	// dive spans, incumbent instants) and the warm-start partitioner.
+	// Observability only: the schedule never depends on it.
+	Trace obs.Tracer
 }
 
 // New returns an IP scheduler with the default budgets.
@@ -86,15 +91,23 @@ func (s *Scheduler) allocate(st *core.State, sub []batch.TaskID) (*core.SubPlan,
 }
 
 func (s *Scheduler) allocateOnce(st *core.State, sub []batch.TaskID) (*core.SubPlan, error) {
+	tr := obs.OrNop(s.Trace)
 	ins := buildInstance(st, sub)
 	m, vi := ins.buildAllocationModel(s.Strong)
-	opt := mip.Options{TimeLimit: s.AllocBudget, Workers: s.Workers}
+	opt := mip.Options{TimeLimit: s.AllocBudget, Workers: s.Workers, Trace: s.Trace}
 	if !s.NoWarmStart {
 		if nodeOf, ok := s.heuristicAssignment(st, sub); ok {
 			opt.WarmStart = ins.warmStart(m, vi, nodeOf)
 		}
 	}
+	endSolve := tr.Span(obs.TrackSched, "ipsched", "allocation IP",
+		obs.A("tasks", len(sub)), obs.A("warm_start", opt.WarmStart != nil))
 	sol, err := m.Solve(opt)
+	if err == nil {
+		endSolve(obs.A("status", sol.Status.String()), obs.A("nodes", sol.Nodes))
+	} else {
+		endSolve()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ipsched: allocation model: %w", err)
 	}
@@ -132,6 +145,7 @@ func (s *Scheduler) allocateOnce(st *core.State, sub []batch.TaskID) (*core.SubP
 func (s *Scheduler) heuristicAssignment(st *core.State, sub []batch.TaskID) ([]int, bool) {
 	bp := bipart.New(s.Seed + 17)
 	bp.Workers = s.Workers
+	bp.Trace = s.Trace
 	assignMap, err := bp.MapForWarmStart(st, sub)
 	if err != nil {
 		return nil, false
@@ -152,12 +166,17 @@ func (s *Scheduler) heuristicAssignment(st *core.State, sub []batch.TaskID) ([]i
 // load-balance tolerance. Falls back to a greedy working-set knapsack
 // when the solver returns nothing usable.
 func (s *Scheduler) selectSubBatch(st *core.State, pending []batch.TaskID) ([]batch.TaskID, error) {
+	tr := obs.OrNop(s.Trace)
 	ins := buildInstance(st, pending)
 	m, vi := ins.buildSelectionModel(s.Thresh, s.Strong)
-	sol, err := m.Solve(mip.Options{TimeLimit: s.SelectBudget, Workers: s.Workers, WarmStart: ins.selectionWarmStart(m, vi)})
+	endSolve := tr.Span(obs.TrackSched, "ipsched", "selection IP",
+		obs.A("pending", len(pending)))
+	sol, err := m.Solve(mip.Options{TimeLimit: s.SelectBudget, Workers: s.Workers, WarmStart: ins.selectionWarmStart(m, vi), Trace: s.Trace})
 	if err != nil {
+		endSolve()
 		return nil, fmt.Errorf("ipsched: selection model: %w", err)
 	}
+	endSolve(obs.A("status", sol.Status.String()), obs.A("nodes", sol.Nodes))
 	var sub []batch.TaskID
 	if sol.Status == mip.Optimal || sol.Status == mip.Feasible {
 		for k, t := range ins.tasks {

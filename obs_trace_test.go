@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sched/bipart"
+	"repro/internal/sched/ipsched"
+	"repro/internal/sched/jdp"
+	"repro/internal/sched/minmin"
+	"repro/internal/workload"
+)
+
+var updateTraces = flag.Bool("update", false, "rewrite the golden trace files under testdata/traces")
+
+// traceProblem is the same 6-task workload the determinism tests pin:
+// small enough that the IP portfolio exhausts its search inside the
+// budget, so every scheduler's simulated timeline is a pure function
+// of the seed.
+func traceProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	b, err := workload.Image(workload.ImageConfig{
+		NumTasks: 6, Overlap: workload.HighOverlap, NumStorage: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{Batch: b, Platform: platform.OSUMED(2, 2, 0)}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// traceSchedulers instantiates the four schemes with the tracer
+// attached where the scheduler supports one.
+func traceSchedulers(tr obs.Tracer) []struct {
+	name  string
+	sched core.Scheduler
+} {
+	ip := ipsched.New(7)
+	ip.AllocBudget = time.Minute
+	ip.SelectBudget = time.Minute
+	ip.Workers = 4
+	ip.Trace = tr
+	bp := bipart.New(7)
+	bp.Workers = 4
+	bp.Trace = tr
+	return []struct {
+		name  string
+		sched core.Scheduler
+	}{
+		{"ip", ip},
+		{"bipartition", bp},
+		{"minmin", minmin.New()},
+		{"jobdatapresent", jdp.New()},
+	}
+}
+
+// TestTraceGolden pins the sim-domain Chrome trace of each scheduler
+// on the 6-task workload byte-for-byte. Sim events carry simulated
+// timestamps only, and the export sorts canonically, so the golden
+// bytes are independent of machine speed and worker count.
+// Regenerate with: go test -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	for _, s := range traceSchedulers(nil) {
+		// One fresh tracer per scheduler: the tracer passed through
+		// traceSchedulers is per-run state, so rebuild the set each
+		// iteration with only this scheme instrumented.
+		tr := obs.NewSimOnly()
+		var sched core.Scheduler
+		for _, ss := range traceSchedulers(tr) {
+			if ss.name == s.name {
+				sched = ss.sched
+			}
+		}
+		if _, err := core.RunObserved(traceProblem(t), sched, core.Observer{Trace: tr}); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("%s: export: %v", s.name, err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("%s: export is not valid JSON", s.name)
+		}
+		golden := filepath.Join("testdata", "traces", s.name+".trace.json")
+		if *updateTraces {
+			if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update): %v", s.name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: trace differs from %s (regenerate with -update if the change is intended)", s.name, golden)
+		}
+	}
+}
+
+// TestObservedRunIdenticalToPlain is the determinism-preservation gate
+// of the observability layer: a fully instrumented run (tracer +
+// metrics on every hook) must produce the same Result as a plain one.
+// Observation is write-only by construction; this test keeps it so.
+func TestObservedRunIdenticalToPlain(t *testing.T) {
+	for _, plain := range traceSchedulers(nil) {
+		res0, err := core.Run(traceProblem(t), plain.sched)
+		if err != nil {
+			t.Fatalf("%s: plain: %v", plain.name, err)
+		}
+		tr := obs.New()
+		met := obs.NewMetrics()
+		var sched core.Scheduler
+		for _, ss := range traceSchedulers(tr) {
+			if ss.name == plain.name {
+				sched = ss.sched
+			}
+		}
+		res1, err := core.RunObserved(traceProblem(t), sched, core.Observer{Trace: tr, Metrics: met})
+		if err != nil {
+			t.Fatalf("%s: observed: %v", plain.name, err)
+		}
+		sameResult(t, plain.name, res0, res1)
+		if met.Snapshot().Counters["core.tasks"] != int64(res1.TaskCount) {
+			t.Errorf("%s: metrics saw %d tasks, result has %d", plain.name,
+				met.Snapshot().Counters["core.tasks"], res1.TaskCount)
+		}
+	}
+}
