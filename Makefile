@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet lint test race fuzz-short verify bench bench-all bench-parallel profile figures clean
+.PHONY: all help build vet lint test race fuzz-short chaos verify bench bench-all bench-parallel profile figures clean
 
 all: verify
 
@@ -13,6 +13,7 @@ help:
 	@echo "  make test          - unit tests"
 	@echo "  make race          - unit tests under the race detector"
 	@echo "  make fuzz-short    - one short iteration of each fuzz target"
+	@echo "  make chaos         - fault-injection suite under -race + the chaos matrix"
 	@echo "  make bench         - per-scheduler benches -> BENCH_schedulers.json"
 	@echo "  make bench-all     - all benchmarks, one iteration"
 	@echo "  make bench-parallel- workers=1 vs workers=N scaling benches"
@@ -47,6 +48,15 @@ race:
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionKWay -fuzztime=5s ./internal/hypergraph/
 	$(GO) test -run='^$$' -fuzz=FuzzTimelineReserve -fuzztime=5s ./internal/gantt/
+	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/core/
+
+# The fault-injection suite under the race detector plus the full
+# chaos experiment matrix: every deterministic-recovery property
+# (identical seeds => identical schedules at any worker count,
+# fault-free parity, degraded-run termination) exercised end to end.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Crash|Degrade|Preempt' ./internal/core/ ./internal/faults/ ./internal/gantt/ ./internal/experiments/ -v
+	$(GO) run ./cmd/paperfigs -fig chaos -quick
 
 verify: build vet lint test race fuzz-short
 

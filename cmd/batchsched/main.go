@@ -8,9 +8,19 @@
 //	           -platform xio|osumed -compute 4 -storage 4
 //	           -sched ip|bipartition|minmin|jdp [-disk-gb 40]
 //	           [-no-replication] [-ip-budget 20s] [-seed 1] [-v]
-//	           [-workers N]
+//	           [-workers N] [-faults SCENARIO]
 //	           [-obs-trace out.json] [-obs-metrics out.json] [-obs-gantt]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -faults injects a deterministic failure scenario into the simulated
+// run ("chaos mode"): a preset (mild, harsh), key=value pairs
+// (seed, mttf, linkp, stragp, stragf, retries, budget, backoff, cap),
+// or a preset with overrides, e.g. -faults harsh,seed=7. Failed
+// transfers retry with capped exponential backoff (preferring a
+// surviving replica), crashed nodes lose their disk cache and their
+// unfinished tasks are re-queued; a run whose retry budgets are
+// exhausted ends with status Degraded. The same scenario spec always
+// reproduces the identical schedule.
 //
 // -workers sets the parallelism of the scheduler's solver (the IP
 // branch-and-bound portfolio, the hypergraph partitioner); 0 uses
@@ -37,6 +47,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched/bipart"
@@ -60,6 +71,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print workload statistics")
 	workers := flag.Int("workers", 0, "solver parallelism (0 = all CPUs, 1 = sequential)")
+	faultSpec := flag.String("faults", "", "failure scenario: none, mild, harsh, or key=value pairs (e.g. harsh,seed=7)")
 	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of the run (view in Perfetto)")
 	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the run's metrics")
 	obsGantt := flag.Bool("obs-gantt", false, "print an ASCII Gantt of the simulated schedule")
@@ -151,7 +163,12 @@ func main() {
 			st.NumTasks, st.NumFiles, float64(st.TotalBytes)/float64(platform.GB), st.MeanFilesPerTask, st.Overlap*100)
 	}
 
-	res, err := core.RunObserved(p, sched, ob)
+	fp, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal("faults: %v", err)
+	}
+
+	res, err := core.RunWith(p, sched, core.RunOptions{Obs: ob, Faults: fp})
 	if err != nil {
 		fatal("run: %v", err)
 	}
@@ -162,6 +179,19 @@ func main() {
 	fmt.Printf("remote transfers:     %d (%.2f GB)\n", res.RemoteTransfers, float64(res.RemoteBytes)/float64(platform.GB))
 	fmt.Printf("replications:         %d (%.2f GB)\n", res.ReplicaTransfers, float64(res.ReplicaBytes)/float64(platform.GB))
 	fmt.Printf("evictions:            %d\n", res.Evictions)
+	if fp != nil {
+		fmt.Printf("status:               %s", res.Status)
+		if res.DegradedTasks > 0 {
+			fmt.Printf(" (%d task(s) abandoned)", res.DegradedTasks)
+		}
+		fmt.Println()
+		fmt.Printf("fault scenario:       %s\n", fp.String())
+		fmt.Printf("transfer failures:    %d (%d retries, %d recovered via replicas)\n",
+			res.TransferFailures, res.TransferRetries, res.ReplicaRecoveries)
+		fmt.Printf("node crashes:         %d (%d tasks re-queued)\n", res.Crashes, res.RequeuedTasks)
+		fmt.Printf("stragglers:           %d\n", res.Stragglers)
+		fmt.Printf("wasted port time:     %.2f s\n", res.WastedSeconds)
+	}
 
 	if *obsGantt {
 		fmt.Println()

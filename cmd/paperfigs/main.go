@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	paperfigs [-fig 3|4|5a|5b|6|all] [-quick] [-ip-budget 20s]
-//	          [-skip-ip] [-seed N] [-csv dir] [-workers N]
+//	paperfigs [-fig 3|4|5a|5b|6|chaos|all] [-quick] [-ip-budget 20s]
+//	          [-skip-ip] [-seed N] [-csv dir] [-workers N] [-faults SCENARIO]
 //	          [-obs-trace out.json] [-obs-metrics out.json]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -fig chaos runs the fault-tolerance matrix (fault scenario ×
+// scheduler) instead of a paper figure; it sweeps its own scenarios
+// and reports makespan, degradation, and recovery activity. -faults
+// injects a fixed failure scenario (mild, harsh, or a key=value spec)
+// into the cells of the ordinary figures; chaos ignores it.
 //
 // -workers fans the independent cells of each figure (and each
 // scheduler's internal solver) across N goroutines; 0 uses every CPU
@@ -34,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -46,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
 	workers := flag.Int("workers", 0, "parallel workers for figure cells and solvers (0 = all CPUs, 1 = sequential)")
+	faultSpec := flag.String("faults", "", "failure scenario for figure cells: none, mild, harsh, or key=value pairs")
 	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of all cells (view in Perfetto)")
 	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the merged metric registry")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -69,11 +77,17 @@ func main() {
 		ob.Metrics = obs.NewMetrics()
 	}
 
-	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers, Obs: ob}
+	fp, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers, Obs: ob, Faults: fp}
 	runners := map[string]func(experiments.Options) ([]*report.Table, error){
 		"3": experiments.Fig3, "4": experiments.Fig4,
 		"5a": experiments.Fig5a, "5b": experiments.Fig5b,
-		"6": experiments.Fig6,
+		"6": experiments.Fig6, "chaos": experiments.Chaos,
 	}
 	var order []string
 	if *fig == "all" {
@@ -81,7 +95,7 @@ func main() {
 	} else if _, ok := runners[*fig]; ok {
 		order = []string{*fig}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3, 4, 5a, 5b, 6, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 3, 4, 5a, 5b, 6, chaos, all)\n", *fig)
 		os.Exit(2)
 	}
 

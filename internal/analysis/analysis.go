@@ -65,6 +65,7 @@ var DefaultDeterministicPaths = []string{
 	"repro/internal/batch",
 	"repro/internal/eviction",
 	"repro/internal/core",
+	"repro/internal/faults",
 }
 
 // A check inspects one package through a pass and reports findings.

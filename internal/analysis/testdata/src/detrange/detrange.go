@@ -61,6 +61,32 @@ func goodDelete(m map[int]int) {
 	}
 }
 
+// badCrashTimesByMapOrder collects per-node crash times out of a map
+// in iteration order — a fault plan built this way would replay
+// differently run to run. One finding.
+func badCrashTimesByMapOrder(mttf map[int]float64) []float64 {
+	var times []float64
+	for _, m := range mttf {
+		times = append(times, m)
+	}
+	return times
+}
+
+// goodCrashTimesSortedNodes walks node ids in sorted order before
+// deriving anything from them — the fault-injector idiom, exempt.
+func goodCrashTimesSortedNodes(mttf map[int]float64) []float64 {
+	var nodes []int
+	for n := range mttf {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	times := make([]float64, 0, len(nodes))
+	for _, n := range nodes {
+		times = append(times, mttf[n])
+	}
+	return times
+}
+
 // suppressedWrite carries an allow annotation — no finding.
 func suppressedWrite(m map[int]int) []int {
 	var out []int

@@ -37,3 +37,20 @@ func suppressedClock() time.Time {
 	//schedlint:allow nowallclock fixture: overhead metric only
 	return time.Now()
 }
+
+// badClockSeededFaults seeds a failure stream from the wall clock —
+// the fault-injection anti-pattern: the same plan would then produce a
+// different failure sequence every run. One finding.
+func badClockSeededFaults() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// goodHashDraw derives a pseudo-random draw by hashing a stable event
+// identity with the plan seed — the fault-injector idiom: pure
+// arithmetic, no clock, no stream, so call order cannot matter.
+func goodHashDraw(seed uint64, node, round int) float64 {
+	z := seed ^ uint64(node)<<32 ^ uint64(round)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return float64((z^(z>>31))>>11) / (1 << 53)
+}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
 
 	"repro/internal/batch"
+	"repro/internal/faults"
 	"repro/internal/gantt"
 	"repro/internal/obs"
 )
@@ -28,6 +30,37 @@ type ExecStats struct {
 	// nodes, for utilization reporting.
 	StorageBusy float64
 	ComputeBusy float64
+
+	// Fault/recovery accounting, all zero on fault-free runs.
+	TransferFailures  int     // transfer attempts that died partway
+	TransferRetries   int     // retry attempts scheduled after a failure
+	ReplicaRecoveries int     // successful retries served from a surviving replica
+	Crashes           int     // node crashes observed this sub-batch
+	Stragglers        int     // execution attempts slowed by a straggling node
+	RequeuedTasks     int     // tasks interrupted and handed back for a later sub-batch
+	WastedSeconds     float64 // port seconds burnt by failed or interrupted attempts
+}
+
+// Add folds o into s. Every field is a plain sum, so aggregation is
+// commutative and associative: merging per-sub-batch or per-cell stats
+// in any order yields identical totals (Makespan sums because
+// sub-batches run back to back).
+func (s *ExecStats) Add(o *ExecStats) {
+	s.Makespan += o.Makespan
+	s.TasksRun += o.TasksRun
+	s.RemoteTransfers += o.RemoteTransfers
+	s.RemoteBytes += o.RemoteBytes
+	s.ReplicaTransfers += o.ReplicaTransfers
+	s.ReplicaBytes += o.ReplicaBytes
+	s.StorageBusy += o.StorageBusy
+	s.ComputeBusy += o.ComputeBusy
+	s.TransferFailures += o.TransferFailures
+	s.TransferRetries += o.TransferRetries
+	s.ReplicaRecoveries += o.ReplicaRecoveries
+	s.Crashes += o.Crashes
+	s.Stragglers += o.Stragglers
+	s.RequeuedTasks += o.RequeuedTasks
+	s.WastedSeconds += o.WastedSeconds
 }
 
 // Execute runs one sub-batch plan through the §6 runtime stage:
@@ -62,7 +95,7 @@ func ExecuteTraced(st *State, plan *SubPlan) (*ExecStats, *gantt.Schedule, error
 // both compute tracks, task executions on their node's track — with
 // absolute batch timestamps. Observation never alters the schedule.
 func ExecuteObserved(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*ExecStats, *gantt.Schedule, error) {
-	e, err := newExecutor(st, plan, traced, tr)
+	e, err := newExecutor(st, plan, traced, tr, nil, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -73,11 +106,47 @@ func ExecuteObserved(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*Exe
 	return stats, e.trace, nil
 }
 
+// ExecuteFaulty is ExecuteObserved under a deterministic fault
+// injector: transfer attempts may fail and retry with capped
+// exponential backoff (preferring a surviving replica source over the
+// storage cluster), node crashes interrupt work and drop disk caches
+// at the sub-batch boundary, and stragglers stretch executions. round
+// is the sub-batch ordinal, part of every failure's hashed identity.
+// Tasks whose in-sub-batch recovery exhausted its budget are returned
+// in requeued — still pending, for the caller to re-plan. A nil
+// injector makes this identical to ExecuteObserved.
+func ExecuteFaulty(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int) (*ExecStats, *gantt.Schedule, []batch.TaskID, error) {
+	e, err := newExecutor(st, plan, traced, tr, inj, round)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stats, err := e.run()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return stats, e.trace, e.requeued, nil
+}
+
 // transfer tags recorded in Gantt intervals, for debugging and tests.
+// tagFault marks a preempted (partial) reservation: the port time a
+// transfer or execution burnt before an injected failure killed it.
 const (
 	tagTransfer int32 = 1
 	tagExec     int32 = 2
+	tagFault    int32 = 3
 )
+
+// faultAbort signals that injected faults prevented one task commit
+// (node crash or exhausted transfer retries). The run loop re-queues
+// the task instead of failing the run.
+type faultAbort struct {
+	node   int
+	at     float64 // sub-batch-relative time of the terminal failure
+	crash  bool    // caused by a node crash (vs a retry budget)
+	reason string
+}
+
+func (f *faultAbort) Error() string { return "core: " + f.reason }
 
 type stageKey struct {
 	file batch.FileID
@@ -104,14 +173,38 @@ type executor struct {
 	trace *gantt.Schedule
 	// tr receives simulated-time spans for committed reservations.
 	tr obs.Tracer
+
+	// Fault injection (all nil/zero on the fault-free fast path).
+	inj   *faults.Injector
+	round int
+	// crashRel[n] is node n's pending crash time relative to this
+	// sub-batch's start (+Inf when it never crashes). Fixed for the
+	// whole sub-batch: crashes are consumed only at the boundary.
+	crashRel []float64
+	// crashSeen[n] records that node n's pending crash interrupted
+	// work, so the boundary must consume it even if the final makespan
+	// ends before the crash time (the zero-progress edge case).
+	crashSeen []bool
+	// requeued collects tasks whose commit a fault aborted; they stay
+	// pending and the caller re-plans them in a later sub-batch.
+	requeued []batch.TaskID
 }
 
-func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*executor, error) {
+func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int) (*executor, error) {
 	if len(plan.Tasks) == 0 {
 		return nil, fmt.Errorf("core: empty sub-batch plan")
 	}
 	p := st.P
 	e := &executor{st: st, plan: plan, tr: obs.OrNop(tr)}
+	if inj != nil {
+		e.inj = inj
+		e.round = round
+		e.crashRel = make([]float64, p.Platform.NumCompute())
+		e.crashSeen = make([]bool, p.Platform.NumCompute())
+		for n := range e.crashRel {
+			e.crashRel[n] = inj.CrashTime(n) - st.Clock
+		}
+	}
 	if e.tr.Enabled() {
 		for s := range p.Platform.Storage {
 			e.tr.NameTrack(obs.DomainSim, obs.StorageTrack(s), "storage "+strconv.Itoa(s))
@@ -349,36 +442,48 @@ func (v *schedEnv) remoteTransfer(f batch.FileID, dst int) (float64, error) {
 	home := p.Batch.Files[f].Home
 	size := p.Batch.FileSize(f)
 	dur := float64(size) / p.Platform.RemoteBW(home, dst)
-	start := v.multiSlot(0, dur, v.remoteResources(home, dst)...)
 	if v.commit {
-		v.e.storageTL[home].Reserve(start, dur, tagTransfer)
-		v.e.computeTL[dst].Reserve(start, dur, tagTransfer)
+		if v.e.inj != nil {
+			return v.faultyTransfer(f, -1, dst, 0)
+		}
+		start := v.multiSlot(0, dur, v.remoteResources(home, dst)...)
+		return v.commitRemote(f, home, dst, start, dur)
+	}
+	start := v.multiSlot(0, dur, v.remoteResources(home, dst)...)
+	v.reserve(v.e.storageTL[home], start, dur, tagTransfer)
+	v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
+	if v.e.linkTL != nil {
+		v.reserve(v.e.linkTL, start, dur, tagTransfer)
+	}
+	v.setAvail(dst, f, start+dur)
+	return start + dur, nil
+}
+
+// commitRemote reserves and records a storage→compute staging whose
+// slot [start, start+dur) has already been found.
+func (v *schedEnv) commitRemote(f batch.FileID, home, dst int, start, dur float64) (float64, error) {
+	size := v.e.st.P.Batch.FileSize(f)
+	v.e.storageTL[home].Reserve(start, dur, tagTransfer)
+	v.e.computeTL[dst].Reserve(start, dur, tagTransfer)
+	if v.e.linkTL != nil {
+		v.e.linkTL.Reserve(start, dur, tagTransfer)
+	}
+	if err := v.e.st.AddFile(dst, f, v.e.base()+start+dur); err != nil {
+		return 0, err
+	}
+	v.e.stats.RemoteTransfers++
+	v.e.stats.RemoteBytes += size
+	if v.e.trace != nil {
+		v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
+	}
+	if v.e.tr.Enabled() {
+		b := v.e.base()
+		name := "stage file " + strconv.Itoa(int(f))
+		args := []obs.Arg{obs.A("file", int(f)), obs.A("bytes", size), obs.A("dst", dst)}
+		v.e.tr.SimSpan(obs.StorageTrack(home), "remote", name, b+start, b+start+dur, args...)
+		v.e.tr.SimSpan(obs.ComputeTrack(dst), "remote", name, b+start, b+start+dur, args...)
 		if v.e.linkTL != nil {
-			v.e.linkTL.Reserve(start, dur, tagTransfer)
-		}
-		if err := v.e.st.AddFile(dst, f, v.e.base()+start+dur); err != nil {
-			return 0, err
-		}
-		v.e.stats.RemoteTransfers++
-		v.e.stats.RemoteBytes += size
-		if v.e.trace != nil {
-			v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
-		}
-		if v.e.tr.Enabled() {
-			b := v.e.base()
-			name := "stage file " + strconv.Itoa(int(f))
-			args := []obs.Arg{obs.A("file", int(f)), obs.A("bytes", size), obs.A("dst", dst)}
-			v.e.tr.SimSpan(obs.StorageTrack(home), "remote", name, b+start, b+start+dur, args...)
-			v.e.tr.SimSpan(obs.ComputeTrack(dst), "remote", name, b+start, b+start+dur, args...)
-			if v.e.linkTL != nil {
-				v.e.tr.SimSpan(obs.TrackLink, "remote", name, b+start, b+start+dur, args...)
-			}
-		}
-	} else {
-		v.reserve(v.e.storageTL[home], start, dur, tagTransfer)
-		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
-		if v.e.linkTL != nil {
-			v.reserve(v.e.linkTL, start, dur, tagTransfer)
+			v.e.tr.SimSpan(obs.TrackLink, "remote", name, b+start, b+start+dur, args...)
 		}
 	}
 	v.setAvail(dst, f, start+dur)
@@ -389,31 +494,186 @@ func (v *schedEnv) replicaTransfer(f batch.FileID, src, dst int, srcAt float64) 
 	p := v.e.st.P
 	size := p.Batch.FileSize(f)
 	dur := float64(size) / p.Platform.ReplicaBW(src, dst)
-	start := v.multiSlot(srcAt, dur, v.searcher(v.e.computeTL[src]), v.searcher(v.e.computeTL[dst]))
 	if v.commit {
-		v.e.computeTL[src].Reserve(start, dur, tagTransfer)
-		v.e.computeTL[dst].Reserve(start, dur, tagTransfer)
-		if err := v.e.st.AddFile(dst, f, v.e.base()+start+dur); err != nil {
-			return 0, err
+		if v.e.inj != nil {
+			return v.faultyTransfer(f, src, dst, srcAt)
 		}
-		v.e.stats.ReplicaTransfers++
-		v.e.stats.ReplicaBytes += size
-		if v.e.trace != nil {
-			v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
-		}
-		if v.e.tr.Enabled() {
-			b := v.e.base()
-			name := "replicate file " + strconv.Itoa(int(f))
-			args := []obs.Arg{obs.A("file", int(f)), obs.A("bytes", size), obs.A("src", src), obs.A("dst", dst)}
-			v.e.tr.SimSpan(obs.ComputeTrack(src), "replica", name, b+start, b+start+dur, args...)
-			v.e.tr.SimSpan(obs.ComputeTrack(dst), "replica", name, b+start, b+start+dur, args...)
-		}
-	} else {
-		v.reserve(v.e.computeTL[src], start, dur, tagTransfer)
-		v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
+		start := v.multiSlot(srcAt, dur, v.searcher(v.e.computeTL[src]), v.searcher(v.e.computeTL[dst]))
+		return v.commitReplica(f, src, dst, start, dur)
+	}
+	start := v.multiSlot(srcAt, dur, v.searcher(v.e.computeTL[src]), v.searcher(v.e.computeTL[dst]))
+	v.reserve(v.e.computeTL[src], start, dur, tagTransfer)
+	v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
+	v.setAvail(dst, f, start+dur)
+	return start + dur, nil
+}
+
+// commitReplica reserves and records a compute→compute copy whose slot
+// [start, start+dur) has already been found.
+func (v *schedEnv) commitReplica(f batch.FileID, src, dst int, start, dur float64) (float64, error) {
+	size := v.e.st.P.Batch.FileSize(f)
+	v.e.computeTL[src].Reserve(start, dur, tagTransfer)
+	v.e.computeTL[dst].Reserve(start, dur, tagTransfer)
+	if err := v.e.st.AddFile(dst, f, v.e.base()+start+dur); err != nil {
+		return 0, err
+	}
+	v.e.stats.ReplicaTransfers++
+	v.e.stats.ReplicaBytes += size
+	if v.e.trace != nil {
+		v.e.trace.Stages = append(v.e.trace.Stages, gantt.StageEvent{File: int(f), Node: dst, Avail: start + dur, Size: size})
+	}
+	if v.e.tr.Enabled() {
+		b := v.e.base()
+		name := "replicate file " + strconv.Itoa(int(f))
+		args := []obs.Arg{obs.A("file", int(f)), obs.A("bytes", size), obs.A("src", src), obs.A("dst", dst)}
+		v.e.tr.SimSpan(obs.ComputeTrack(src), "replica", name, b+start, b+start+dur, args...)
+		v.e.tr.SimSpan(obs.ComputeTrack(dst), "replica", name, b+start, b+start+dur, args...)
 	}
 	v.setAvail(dst, f, start+dur)
 	return start + dur, nil
+}
+
+// survivingReplica picks the retry source for staging f onto dst
+// after a failed attempt: among nodes already holding the file it
+// returns the one whose copy would complete earliest without the
+// source crashing first. ok is false when no replica survives (the
+// retry then falls back to the storage cluster).
+func (v *schedEnv) survivingReplica(f batch.FileID, dst int, after float64) (src int, start, dur float64, ok bool) {
+	e := v.e
+	p := e.st.P
+	if p.DisableReplication {
+		return -1, 0, 0, false
+	}
+	size := p.Batch.FileSize(f)
+	best := math.Inf(1)
+	src = -1
+	for j := range p.Platform.Compute {
+		if j == dst {
+			continue
+		}
+		at, held := v.availOn(j, f)
+		if !held {
+			continue
+		}
+		jdur := float64(size) / p.Platform.ReplicaBW(j, dst)
+		jstart := v.multiSlot(math.Max(after, at), jdur, v.searcher(e.computeTL[j]), v.searcher(e.computeTL[dst]))
+		end := jstart + jdur
+		if end > e.crashRel[j] {
+			continue // source dies before the copy completes
+		}
+		if end < best {
+			best, src, start, dur = end, j, jstart, jdur
+		}
+	}
+	return src, start, dur, src >= 0
+}
+
+// faultyTransfer is the transfer commit path under fault injection:
+// each attempt draws crash and link failures against its stable
+// identity; a failed attempt burns a preempted reservation
+// [start, failAt) on the ports it occupied, backs off, and retries —
+// preferring a surviving replica source (the paper's replication
+// doubling as the recovery path) before the storage cluster. src is
+// the first attempt's source (-1 = remote), srcAt its availability
+// floor. Exhausted retries or a destination crash abort the task
+// commit with a faultAbort.
+func (v *schedEnv) faultyTransfer(f batch.FileID, src, dst int, srcAt float64) (float64, error) {
+	e := v.e
+	p := e.st.P
+	inj := e.inj
+	size := p.Batch.FileSize(f)
+	home := p.Batch.Files[f].Home
+	after := 0.0
+	for attempt := 1; attempt <= inj.MaxTransferRetries(); attempt++ {
+		curSrc := src
+		var start, dur float64
+		if attempt > 1 {
+			var ok bool
+			curSrc, start, dur, ok = v.survivingReplica(f, dst, after)
+			if !ok {
+				curSrc = -1
+			}
+		} else if curSrc >= 0 {
+			dur = float64(size) / p.Platform.ReplicaBW(curSrc, dst)
+			start = v.multiSlot(math.Max(after, srcAt), dur, v.searcher(e.computeTL[curSrc]), v.searcher(e.computeTL[dst]))
+		}
+		if curSrc < 0 {
+			dur = float64(size) / p.Platform.RemoteBW(home, dst)
+			start = v.multiSlot(after, dur, v.remoteResources(home, dst)...)
+		}
+		end := start + dur
+
+		// Earliest failure among destination crash, source crash, and
+		// the link draw decides the attempt's fate.
+		failAt := math.Inf(1)
+		crashedNode := -1
+		if c := e.crashRel[dst]; c < end {
+			failAt, crashedNode = c, dst
+		}
+		if curSrc >= 0 {
+			if c := e.crashRel[curSrc]; c < end && c < failAt {
+				failAt, crashedNode = c, curSrc
+			}
+		}
+		if frac, bad := inj.TransferFail(int(f), dst, curSrc, e.round, attempt); bad {
+			if at := start + frac*dur; at < failAt {
+				failAt, crashedNode = at, -1
+			}
+		}
+		if math.IsInf(failAt, 1) {
+			at, err := 0.0, error(nil)
+			if curSrc >= 0 {
+				at, err = v.commitReplica(f, curSrc, dst, start, dur)
+			} else {
+				at, err = v.commitRemote(f, home, dst, start, dur)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if attempt > 1 && curSrc >= 0 {
+				e.stats.ReplicaRecoveries++
+			}
+			return at, nil
+		}
+
+		// The attempt dies at failAt: burn the started portion as a
+		// preempted reservation so the recovery schedule stays honest
+		// about port occupancy. No StageEvent is recorded — the file
+		// never arrived.
+		if failAt < start {
+			failAt = start
+		}
+		e.stats.TransferFailures++
+		e.stats.WastedSeconds += failAt - start
+		if failAt > start {
+			if curSrc >= 0 {
+				e.computeTL[curSrc].Reserve(start, failAt-start, tagFault)
+			} else {
+				e.storageTL[home].Reserve(start, failAt-start, tagFault)
+				if e.linkTL != nil {
+					e.linkTL.Reserve(start, failAt-start, tagFault)
+				}
+			}
+			e.computeTL[dst].Reserve(start, failAt-start, tagFault)
+		}
+		if e.tr.Enabled() {
+			b := e.base()
+			e.tr.SimSpan(obs.ComputeTrack(dst), "fault", "failed stage file "+strconv.Itoa(int(f)),
+				b+start, b+failAt,
+				obs.A("file", int(f)), obs.A("attempt", attempt), obs.A("src", curSrc))
+		}
+		if crashedNode >= 0 {
+			e.crashSeen[crashedNode] = true
+		}
+		if crashedNode == dst {
+			return 0, &faultAbort{node: dst, at: failAt, crash: true,
+				reason: fmt.Sprintf("node %d crashed while staging file %d", dst, f)}
+		}
+		e.stats.TransferRetries++
+		after = failAt + inj.Backoff(attempt+1)
+	}
+	return 0, &faultAbort{node: dst, at: after,
+		reason: fmt.Sprintf("staging file %d onto node %d: all %d transfer attempts failed", f, dst, inj.MaxTransferRetries())}
 }
 
 // base returns the absolute sim time at the start of this sub-batch.
@@ -484,7 +744,34 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 		bytes += e.st.P.Batch.FileSize(f)
 	}
 	execDur := float64(bytes)/e.st.P.Platform.Compute[c].LocalReadBW + task.Compute
+	if commit && e.inj != nil {
+		// Stragglers stretch only the committed execution; ECT
+		// estimation stays fault-blind so tentative ordering is
+		// identical at any worker count.
+		if factor := e.inj.Straggler(int(t), e.round); factor > 1 {
+			execDur *= factor
+			e.stats.Stragglers++
+		}
+	}
 	start := v.searcher(e.computeTL[c]).EarliestSlot(arrival, execDur)
+	if commit && e.inj != nil {
+		if crashAt := e.crashRel[c]; start+execDur > crashAt {
+			// Node c dies before this execution completes: burn the
+			// started portion and hand the task back for re-queueing.
+			if start < crashAt {
+				e.computeTL[c].Reserve(start, crashAt-start, tagFault)
+				e.stats.WastedSeconds += crashAt - start
+				if e.tr.Enabled() {
+					b := e.base()
+					e.tr.SimSpan(obs.ComputeTrack(c), "fault", "killed task "+strconv.Itoa(int(t)),
+						b+start, b+crashAt, obs.A("task", int(t)), obs.A("node", c))
+				}
+			}
+			e.crashSeen[c] = true
+			return 0, &faultAbort{node: c, at: crashAt, crash: true,
+				reason: fmt.Sprintf("node %d crashed during task %d execution", c, t)}
+		}
+	}
 	if commit {
 		e.computeTL[c].Reserve(start, execDur, tagExec)
 		e.st.Done[t] = true
@@ -551,6 +838,12 @@ func (e *executor) run() (*ExecStats, error) {
 			_, err = v.remoteTransfer(op.File, op.Dest)
 		}
 		if err != nil {
+			// Pre-staging is a best-effort optimization: a fault-aborted
+			// op is simply skipped (tasks re-stage on demand).
+			var fa *faultAbort
+			if errors.As(err, &fa) {
+				continue
+			}
 			return nil, err
 		}
 	}
@@ -587,6 +880,20 @@ func (e *executor) run() (*ExecStats, error) {
 			}
 		}
 		if _, err := e.scheduleTask(top.task, true); err != nil {
+			var fa *faultAbort
+			if errors.As(err, &fa) {
+				// Injected fault killed the commit: the task stays
+				// pending and is handed back for a later sub-batch.
+				e.requeued = append(e.requeued, top.task)
+				e.stats.RequeuedTasks++
+				nodeVer[node]++
+				if e.tr.Enabled() {
+					e.tr.SimInstant(obs.ComputeTrack(node), "fault",
+						"requeue task "+strconv.Itoa(int(top.task)), e.base()+fa.at,
+						obs.A("task", int(top.task)), obs.A("reason", fa.reason))
+				}
+				continue
+			}
 			return nil, err
 		}
 		nodeVer[node]++
@@ -598,6 +905,24 @@ func (e *executor) run() (*ExecStats, error) {
 	}
 	for _, tl := range e.computeTL {
 		e.stats.ComputeBusy += tl.BusyTime()
+	}
+	if e.inj != nil {
+		for n := range e.computeTL {
+			abs := e.inj.CrashTime(n)
+			if e.crashSeen[n] || abs < e.base()+e.stats.Makespan {
+				// The crash fell inside this sub-batch (or visibly
+				// interrupted work): the node loses its disk cache and
+				// reboots empty at the boundary.
+				e.st.DropNode(n)
+				e.inj.ConsumeCrash(n)
+				e.stats.Crashes++
+				if e.tr.Enabled() {
+					e.tr.SimInstant(obs.ComputeTrack(n), "fault",
+						"node "+strconv.Itoa(n)+" crash", math.Min(abs, e.base()+e.stats.Makespan),
+						obs.A("node", n))
+				}
+			}
+		}
 	}
 	e.st.Clock += e.stats.Makespan
 	return &e.stats, nil

@@ -6,13 +6,28 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/faults"
 	"repro/internal/obs"
+)
+
+// RunStatus reports how a batch run ended.
+type RunStatus string
+
+const (
+	// StatusComplete: every task executed.
+	StatusComplete RunStatus = "Complete"
+	// StatusDegraded: fault-recovery budgets were exhausted and some
+	// tasks were abandoned (DegradedTasks counts them).
+	StatusDegraded RunStatus = "Degraded"
 )
 
 // Result aggregates one full batch run: the three-stage pipeline
 // applied repeatedly until every task has executed.
 type Result struct {
 	Scheduler string
+	// Status is StatusComplete unless fault injection exhausted some
+	// task's retry budget (then StatusDegraded).
+	Status RunStatus
 	// Makespan is the total simulated batch execution time in seconds
 	// (sum of sub-batch makespans; sub-batches run back to back).
 	Makespan float64
@@ -31,6 +46,18 @@ type Result struct {
 
 	StorageBusy float64
 	ComputeBusy float64
+
+	// Fault/recovery accounting, all zero on fault-free runs.
+	TransferFailures  int
+	TransferRetries   int
+	ReplicaRecoveries int
+	Crashes           int
+	Stragglers        int
+	RequeuedTasks     int
+	// DegradedTasks counts tasks abandoned after their retry budget
+	// was exhausted; they are not executed and not counted in TasksRun.
+	DegradedTasks int
+	WastedSeconds float64
 }
 
 // SchedulingMSPerTask returns the paper's Figure 6(b) metric.
@@ -57,6 +84,36 @@ type Observer struct {
 	Metrics *obs.Metrics
 }
 
+// RunOptions bundles the optional behaviors of a run: post-hoc
+// schedule validation, observability sinks, and fault injection. The
+// zero value reproduces plain Run exactly.
+type RunOptions struct {
+	// Checked enables the gantt schedule validator per sub-batch.
+	Checked bool
+	// Obs attaches tracing/metrics sinks.
+	Obs Observer
+	// Faults, when non-nil and enabled, injects the scenario's crash,
+	// transfer-failure and straggler events and activates the recovery
+	// path (retry/backoff, replica-preferring re-staging, re-queueing
+	// with per-task budgets). Nil or disabled plans take the fault-free
+	// fast path, byte-identical to a run without this option.
+	Faults *faults.FaultPlan
+}
+
+// RunWith is Run with explicit options.
+func RunWith(p *Problem, s Scheduler, opt RunOptions) (*Result, error) {
+	st, err := NewState(p)
+	if err != nil {
+		return nil, err
+	}
+	return runFrom(st, s, p.Batch.AllTasks(), opt)
+}
+
+// RunFromWith is RunFrom with explicit options.
+func RunFromWith(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*Result, error) {
+	return runFrom(st, s, pending, opt)
+}
+
 // Run executes the complete three-stage pipeline of the paper: the
 // scheduler repeatedly selects and maps a sub-batch of the pending
 // tasks (stages 1–2), the §6 runtime stage executes it on the
@@ -81,7 +138,7 @@ func RunObserved(p *Problem, s Scheduler, ob Observer) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runFrom(st, s, p.Batch.AllTasks(), false, ob)
+	return runFrom(st, s, p.Batch.AllTasks(), RunOptions{Obs: ob})
 }
 
 // RunChecked is Run with the gantt schedule validator enabled: every
@@ -102,27 +159,52 @@ func RunChecked(p *Problem, s Scheduler) (*Result, error) {
 
 // RunFrom is Run starting from an existing cluster state and an
 // explicit pending-task set, allowing callers to chain batches over a
-// warm disk cache.
+// warm disk cache. Task IDs already completed in st, and duplicate
+// IDs, are skipped rather than double-executed — recovery re-queueing
+// feeds this path and hand-built resume lists may contain both.
 func RunFrom(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
-	return runFrom(st, s, pending, false, Observer{})
+	return runFrom(st, s, pending, RunOptions{})
 }
 
 // RunFromChecked is RunFrom with the gantt schedule validator enabled.
 func RunFromChecked(st *State, s Scheduler, pending []batch.TaskID) (*Result, error) {
-	return runFrom(st, s, pending, true, Observer{})
+	return runFrom(st, s, pending, RunOptions{Checked: true})
 }
 
-func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool, ob Observer) (*Result, error) {
+func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*Result, error) {
+	if err := opt.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	inj := faults.NewInjector(opt.Faults, st.P.Platform.NumCompute())
+	ob := opt.Obs
+	checked := opt.Checked
 	tr := obs.OrNop(ob.Trace)
 	if tr.Enabled() {
 		tr.NameTrack(obs.DomainReal, obs.TrackSched, "scheduler ("+s.Name()+")")
 		tr.NameTrack(obs.DomainSim, obs.TrackBatch, "sub-batches")
 	}
-	res := &Result{Scheduler: s.Name(), TaskCount: len(pending)}
+	// Dedupe the pending list and skip already-completed task IDs. The
+	// cleaned list preserves first-occurrence order, so a clean input
+	// behaves exactly as before.
 	pendingSet := make(map[batch.TaskID]bool, len(pending))
+	clean := make([]batch.TaskID, 0, len(pending))
 	for _, t := range pending {
+		if pendingSet[t] || (int(t) < len(st.Done) && st.Done[t]) {
+			continue
+		}
 		pendingSet[t] = true
+		clean = append(clean, t)
 	}
+	pending = clean
+	res := &Result{Scheduler: s.Name(), Status: StatusComplete, TaskCount: len(pending)}
+	// Per-task re-queue counts against the fault-recovery budget.
+	var attempts map[batch.TaskID]int
+	budget := 0
+	if inj != nil {
+		attempts = make(map[batch.TaskID]int)
+		budget = inj.TaskRetryBudget()
+	}
+	var agg ExecStats
 	for len(pending) > 0 {
 		endPlan := tr.Span(obs.TrackSched, "phase", "plan",
 			obs.A("pending", len(pending)), obs.A("sub_batch", res.SubBatches))
@@ -149,7 +231,7 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool, ob Ob
 		clockBefore := st.Clock
 		endExec := tr.Span(obs.TrackSched, "phase", "execute",
 			obs.A("tasks", len(plan.Tasks)))
-		stats, sched, err := ExecuteObserved(st, plan, checked, tr)
+		stats, sched, requeued, err := ExecuteFaulty(st, plan, checked, tr, inj, res.SubBatches)
 		if err == nil && checked {
 			err = sched.Err()
 		}
@@ -166,16 +248,28 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool, ob Ob
 				obs.A("replica_transfers", stats.ReplicaTransfers))
 		}
 		res.SubBatches++
-		res.Makespan += stats.Makespan
-		res.RemoteTransfers += stats.RemoteTransfers
-		res.RemoteBytes += stats.RemoteBytes
-		res.ReplicaTransfers += stats.ReplicaTransfers
-		res.ReplicaBytes += stats.ReplicaBytes
-		res.StorageBusy += stats.StorageBusy
-		res.ComputeBusy += stats.ComputeBusy
+		agg.Add(stats)
 
+		// Completed tasks leave the pending set; fault-interrupted ones
+		// stay pending (they were not marked Done) until their re-queue
+		// budget runs out, at which point they are abandoned as
+		// degraded.
 		for _, t := range plan.Tasks {
-			delete(pendingSet, t)
+			if st.Done[t] {
+				delete(pendingSet, t)
+			}
+		}
+		for _, t := range requeued {
+			attempts[t]++
+			if attempts[t] > budget {
+				delete(pendingSet, t)
+				res.DegradedTasks++
+				res.Status = StatusDegraded
+				if tr.Enabled() {
+					tr.SimInstant(obs.TrackBatch, "fault",
+						"abandon task "+strconv.Itoa(int(t)), st.Clock, obs.A("task", int(t)))
+				}
+			}
 		}
 		pending = pending[:0]
 		for t := range pendingSet {
@@ -193,7 +287,31 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, checked bool, ob Ob
 			endEvict()
 		}
 	}
+	res.Makespan = agg.Makespan
+	res.RemoteTransfers = agg.RemoteTransfers
+	res.RemoteBytes = agg.RemoteBytes
+	res.ReplicaTransfers = agg.ReplicaTransfers
+	res.ReplicaBytes = agg.ReplicaBytes
+	res.StorageBusy = agg.StorageBusy
+	res.ComputeBusy = agg.ComputeBusy
+	res.TransferFailures = agg.TransferFailures
+	res.TransferRetries = agg.TransferRetries
+	res.ReplicaRecoveries = agg.ReplicaRecoveries
+	res.Crashes = agg.Crashes
+	res.Stragglers = agg.Stragglers
+	res.RequeuedTasks = agg.RequeuedTasks
+	res.WastedSeconds = agg.WastedSeconds
 	res.Evictions = st.Evictions
+	if inj != nil {
+		ob.Metrics.Count("core.fault.transfer_failures", int64(res.TransferFailures))
+		ob.Metrics.Count("core.fault.transfer_retries", int64(res.TransferRetries))
+		ob.Metrics.Count("core.fault.replica_recoveries", int64(res.ReplicaRecoveries))
+		ob.Metrics.Count("core.fault.crashes", int64(res.Crashes))
+		ob.Metrics.Count("core.fault.stragglers", int64(res.Stragglers))
+		ob.Metrics.Count("core.fault.requeued_tasks", int64(res.RequeuedTasks))
+		ob.Metrics.Count("core.fault.degraded_tasks", int64(res.DegradedTasks))
+		ob.Metrics.SetGauge("core.fault.wasted_s", res.WastedSeconds)
+	}
 	ob.Metrics.Count("core.tasks", int64(res.TaskCount))
 	ob.Metrics.Count("core.sub_batches", int64(res.SubBatches))
 	ob.Metrics.Count("core.remote_transfers", int64(res.RemoteTransfers))

@@ -136,6 +136,23 @@ func (s *State) Evict(n int, f batch.FileID) {
 	s.Evictions++
 }
 
+// DropNode models a node crash: every file copy on compute node n is
+// lost and its disk empties. Crash losses are not counted as
+// Evictions — eviction is a scheduling decision, a crash is not.
+// Returns the number of file copies dropped.
+func (s *State) DropNode(n int) int {
+	dropped := 0
+	for f := range s.holds[n] {
+		if s.holds[n][f] {
+			s.holds[n][f] = false
+			dropped++
+		}
+		s.lastUse[n][f] = 0
+	}
+	s.used[n] = 0
+	return dropped
+}
+
 // PresentMatrix returns a copy of the holds matrix, for scheduler
 // formulations that need the full placement snapshot.
 func (s *State) PresentMatrix() [][]bool {

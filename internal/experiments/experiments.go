@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/sched/bipart"
@@ -54,6 +55,10 @@ type Options struct {
 	// into Obs.Metrics in cell-index order, so the aggregate snapshot
 	// is identical at any worker count.
 	Obs core.Observer
+	// Faults injects the given failure scenario into every figure run
+	// (nil = fault-free). The Chaos experiment ignores this and runs
+	// its own scenario sweep.
+	Faults *faults.FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -79,12 +84,13 @@ func (o Options) tasks(full int) int {
 }
 
 // run executes one (problem, scheduler) pair under the cell's
-// observer (zero Observer = unobserved, same schedule either way).
-func run(p *core.Problem, s core.Scheduler, ob core.Observer) (*core.Result, error) {
+// observer (zero Observer = unobserved, same schedule either way) and
+// optional fault scenario (nil = fault-free fast path).
+func run(p *core.Problem, s core.Scheduler, ob core.Observer, fp *faults.FaultPlan) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return core.RunObserved(p, s, ob)
+	return core.RunWith(p, s, core.RunOptions{Obs: ob, Faults: fp})
 }
 
 // schedSpec names one scheduler column and builds fresh instances of
@@ -168,7 +174,7 @@ func overlapFigure(o Options, app string, pf func() *platform.Platform,
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make(), ob)
+		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make(), ob, o.Faults)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%v: %w", app, ss[c].name, ov, err)
 		}
@@ -263,7 +269,7 @@ func Fig5a(o Options) ([]*report.Table, error) {
 		s := bipart.New(o.Seed + 300)
 		s.Workers = o.Workers
 		s.Trace = o.Obs.Trace
-		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s, ob)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s, ob, o.Faults)
 		if err != nil {
 			return err
 		}
@@ -326,7 +332,7 @@ func Fig5b(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make(), ob)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make(), ob, o.Faults)
 		if err != nil {
 			return fmt.Errorf("fig5b %s n=%d: %w", ss[c].name, n, err)
 		}
@@ -386,7 +392,7 @@ func Fig6(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make(), ob)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make(), ob, o.Faults)
 		if err != nil {
 			return fmt.Errorf("fig6 %s C=%d: %w", ss[c].name, C, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -64,6 +65,56 @@ func TestFig3QuickShape(t *testing.T) {
 		if tb.Rows[2].Values[0] < tb.Rows[0].Values[0] {
 			t.Errorf("%s: low overlap cheaper than high", tb.Title)
 		}
+	}
+}
+
+func TestChaosQuick(t *testing.T) {
+	tables, err := Chaos(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("panels = %d, want 3 (makespan, degradation, recovery)", len(tables))
+	}
+	mk, deg, rec := tables[0], tables[1], tables[2]
+	if len(mk.Rows) != 3 || len(deg.Rows) != 2 || len(rec.Rows) != len(mk.Columns) {
+		t.Fatalf("table shapes: mk=%d deg=%d rec=%d", len(mk.Rows), len(deg.Rows), len(rec.Rows))
+	}
+	// Faults cost time: each scheduler's harsh makespan must exceed its
+	// fault-free control, and some recovery activity must be recorded.
+	for c := range mk.Columns {
+		if mk.Rows[2].Values[c] <= mk.Rows[0].Values[c] {
+			t.Errorf("%s: harsh makespan %g not above fault-free %g",
+				mk.Columns[c], mk.Rows[2].Values[c], mk.Rows[0].Values[c])
+		}
+	}
+	var activity float64
+	for _, v := range rec.Rows[0].Values {
+		activity += v
+	}
+	if activity == 0 {
+		t.Error("harsh scenario recorded no recovery activity at all")
+	}
+}
+
+// TestChaosWorkerInvariance is the acceptance property at the matrix
+// level: identical fault seeds must yield byte-identical tables at any
+// worker count.
+func TestChaosWorkerInvariance(t *testing.T) {
+	o1 := quick()
+	o1.Workers = 1
+	seq, err := Chaos(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4 := quick()
+	o4.Workers = 4
+	par, err := Chaos(o4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("chaos matrix differs across worker counts:\n  1: %+v\n  4: %+v", seq, par)
 	}
 }
 

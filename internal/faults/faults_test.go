@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParsePresetsAndOverrides(t *testing.T) {
+	if p, err := Parse(""); err != nil || p != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil plan", p, err)
+	}
+	if p, err := Parse("none"); err != nil || p != nil {
+		t.Fatalf("Parse(none) = %v, %v; want nil plan", p, err)
+	}
+	p, err := Parse("harsh,seed=42,linkp=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.LinkFailProb != 0.2 || p.NodeMTTF != presets["harsh"].NodeMTTF {
+		t.Fatalf("override parse wrong: %+v", p)
+	}
+	p, err = Parse("seed=7,mttf=1000,linkp=0.05,stragp=0.1,stragf=3,retries=5,budget=2,backoff=1,cap=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultPlan{Seed: 7, NodeMTTF: 1000, LinkFailProb: 0.05, StragglerProb: 0.1,
+		StragglerFactor: 3, MaxTransferRetries: 5, TaskRetryBudget: 2, BackoffBase: 1, BackoffCap: 10}
+	if !reflect.DeepEqual(*p, want) {
+		t.Fatalf("key=value parse: got %+v want %+v", *p, want)
+	}
+	for _, bad := range []string{"nonsense", "mttf=x", "harsh,frobnicate=1", "linkp=2", "mttf=-5"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseRoundTripsString(t *testing.T) {
+	p, err := Parse("seed=3,mttf=500,linkp=0.1,stragp=0.2,stragf=2,retries=3,budget=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(*q, *p) {
+		t.Fatalf("round trip: %+v vs %+v", *q, *p)
+	}
+}
+
+func TestEnabledAndNilInjector(t *testing.T) {
+	var nilPlan *FaultPlan
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan reports enabled")
+	}
+	if (&FaultPlan{Seed: 9}).Enabled() {
+		t.Fatal("seed-only plan reports enabled")
+	}
+	if in := NewInjector(&FaultPlan{}, 4); in != nil {
+		t.Fatal("disabled plan compiled to a non-nil injector")
+	}
+	// Nil injector: every query is the no-fault answer.
+	var in *Injector
+	if !math.IsInf(in.CrashTime(0), 1) {
+		t.Fatal("nil injector crash time not +Inf")
+	}
+	if _, failed := in.TransferFail(0, 0, -1, 0, 1); failed {
+		t.Fatal("nil injector failed a transfer")
+	}
+	if in.Straggler(0, 0) != 1 {
+		t.Fatal("nil injector slowed a task")
+	}
+	if in.Backoff(3) != 0 {
+		t.Fatal("nil injector returned backoff")
+	}
+	in.ConsumeCrash(0) // must not panic
+}
+
+// TestInjectorOrderIndependence is the core determinism property: the
+// same query answered at any point, in any interleaving, gives the
+// same result, because decisions hash stable identities instead of
+// consuming a shared stream.
+func TestInjectorOrderIndependence(t *testing.T) {
+	plan := &FaultPlan{Seed: 11, NodeMTTF: 1000, LinkFailProb: 0.3, StragglerProb: 0.5, StragglerFactor: 4}
+	a := NewInjector(plan, 4)
+	b := NewInjector(plan, 4)
+
+	// Query b in a scrambled order first.
+	b.Straggler(7, 2)
+	b.TransferFail(9, 3, 1, 5, 2)
+	b.CrashTime(3)
+
+	for node := 0; node < 4; node++ {
+		if a.CrashTime(node) != b.CrashTime(node) {
+			t.Fatalf("crash time differs on node %d", node)
+		}
+	}
+	for f := 0; f < 10; f++ {
+		for attempt := 1; attempt <= 3; attempt++ {
+			af, aok := a.TransferFail(f, 1, -1, 0, attempt)
+			bf, bok := b.TransferFail(f, 1, -1, 0, attempt)
+			if af != bf || aok != bok {
+				t.Fatalf("transfer decision differs for file %d attempt %d", f, attempt)
+			}
+		}
+	}
+	for task := 0; task < 20; task++ {
+		if a.Straggler(task, 1) != b.Straggler(task, 1) {
+			t.Fatalf("straggler factor differs for task %d", task)
+		}
+	}
+}
+
+func TestCrashSequenceMonotoneAndConsumable(t *testing.T) {
+	plan := &FaultPlan{Seed: 5, NodeMTTF: 100}
+	in := NewInjector(plan, 2)
+	prev := 0.0
+	for i := 0; i < 50; i++ {
+		c := in.CrashTime(0)
+		if !(c > prev) {
+			t.Fatalf("crash %d at %g not after previous %g", i, c, prev)
+		}
+		prev = c
+		in.ConsumeCrash(0)
+	}
+	// Per-node MTTF override: node 1 crashes far less often on average.
+	over := &FaultPlan{Seed: 5, NodeMTTF: 100, PerNodeMTTF: []float64{0, 1e9}}
+	oin := NewInjector(over, 2)
+	if oin.CrashTime(1) < 1e6 {
+		t.Fatalf("per-node MTTF override ignored: first crash at %g", oin.CrashTime(1))
+	}
+}
+
+func TestTransferFailRespectsProbabilityEdges(t *testing.T) {
+	never := NewInjector(&FaultPlan{Seed: 1, NodeMTTF: 10}, 2) // linkp 0
+	for f := 0; f < 100; f++ {
+		if _, failed := never.TransferFail(f, 0, -1, 0, 1); failed {
+			t.Fatal("transfer failed with LinkFailProb 0")
+		}
+	}
+	always := NewInjector(&FaultPlan{Seed: 1, LinkFailProb: 1}, 2)
+	for f := 0; f < 100; f++ {
+		frac, failed := always.TransferFail(f, 0, -1, 0, 1)
+		if !failed {
+			t.Fatal("transfer survived with LinkFailProb 1")
+		}
+		if frac <= 0 || frac >= 1 {
+			t.Fatalf("failure fraction %g outside (0,1)", frac)
+		}
+	}
+}
+
+func TestBackoffCappedExponential(t *testing.T) {
+	in := NewInjector(&FaultPlan{Seed: 1, LinkFailProb: 0.5, BackoffBase: 1, BackoffCap: 5}, 1)
+	wants := []float64{0, 0, 1, 2, 4, 5, 5}
+	for attempt, want := range wants {
+		if got := in.Backoff(attempt); got != want {
+			t.Fatalf("Backoff(%d) = %g, want %g", attempt, got, want)
+		}
+	}
+}
+
+func TestStragglerBounds(t *testing.T) {
+	in := NewInjector(&FaultPlan{Seed: 3, StragglerProb: 1, StragglerFactor: 4}, 1)
+	for task := 0; task < 200; task++ {
+		f := in.Straggler(task, 0)
+		if f < 1 || f > 4 {
+			t.Fatalf("straggler factor %g outside [1,4]", f)
+		}
+	}
+	off := NewInjector(&FaultPlan{Seed: 3, LinkFailProb: 0.1}, 1)
+	if off.Straggler(0, 0) != 1 {
+		t.Fatal("straggler fired with StragglerProb 0")
+	}
+}

@@ -1,0 +1,132 @@
+package gantt
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The fault-tolerant runtime burns the started portion of a failed
+// transfer or a crash-killed execution as a preempted reservation
+// (tag 3) with no matching StageEvent — the file never arrived. These
+// tests pin that Validate accepts such recovery schedules while still
+// holding them to every invariant.
+
+func TestValidateAcceptsPreemptedPartialReservations(t *testing.T) {
+	const tagFault = 3
+	storage := NewTimeline()
+	compute := NewTimeline()
+	// Attempt 1 dies at t=3 (preempted, no stage event); the retry
+	// [4, 8) succeeds and stages file 5.
+	storage.Reserve(0, 3, tagFault)
+	compute.Reserve(0, 3, tagFault)
+	storage.Reserve(4, 4, 1)
+	compute.Reserve(4, 4, 1)
+	compute.Reserve(8, 2, 2)
+	s := &Schedule{
+		Storage:  []*Timeline{storage},
+		Compute:  []*Timeline{compute},
+		Stages:   []StageEvent{{File: 5, Node: 0, Avail: 8, Size: 50}},
+		Tasks:    []TaskEvent{{Task: 0, Node: 0, Start: 8, End: 10, Inputs: []int{5}}},
+		DiskCap:  []int64{100},
+		InitUsed: []int64{0},
+		InitHeld: [][]int{nil},
+	}
+	if v := s.Validate(); len(v) != 0 {
+		t.Fatalf("recovery schedule with preempted reservations flagged: %v", v)
+	}
+}
+
+func TestValidatePreemptedReservationsStillCheckOverlap(t *testing.T) {
+	// A preempted reservation gets no special exemption: overlapping
+	// the retry is still a port violation.
+	tl := NewTimelineFromIntervals([]Interval{
+		{Start: 0, End: 3, Tag: 3},
+		{Start: 2, End: 6, Tag: 1},
+	})
+	s := &Schedule{Compute: []*Timeline{tl}}
+	assertViolations(t, s.Validate(), "reservations overlap")
+}
+
+func TestValidateZeroLengthPreemption(t *testing.T) {
+	// A transfer killed at its start instant leaves a zero-length
+	// interval; that is sound (and distinct from a negative one).
+	tl := NewTimelineFromIntervals([]Interval{
+		{Start: 2, End: 2, Tag: 3},
+		{Start: 2, End: 5, Tag: 1},
+	})
+	s := &Schedule{Compute: []*Timeline{tl}}
+	if v := s.Validate(); len(v) != 0 {
+		t.Fatalf("zero-length preemption flagged: %v", v)
+	}
+}
+
+// fixtureSchedule mirrors Schedule with plain intervals so recorded
+// schedules round-trip through JSON testdata.
+type fixtureSchedule struct {
+	Storage  [][]Interval
+	Compute  [][]Interval
+	Link     []Interval
+	Stages   []StageEvent
+	Tasks    []TaskEvent
+	DiskCap  []int64
+	InitUsed []int64
+	InitHeld [][]int
+}
+
+func (f *fixtureSchedule) schedule() *Schedule {
+	s := &Schedule{
+		Stages:   f.Stages,
+		Tasks:    f.Tasks,
+		DiskCap:  f.DiskCap,
+		InitUsed: f.InitUsed,
+		InitHeld: f.InitHeld,
+	}
+	for _, ivs := range f.Storage {
+		s.Storage = append(s.Storage, NewTimelineFromIntervals(ivs))
+	}
+	for _, ivs := range f.Compute {
+		s.Compute = append(s.Compute, NewTimelineFromIntervals(ivs))
+	}
+	if len(f.Link) > 0 {
+		s.Link = NewTimelineFromIntervals(f.Link)
+	}
+	return s
+}
+
+// TestCrashRecoveryFixture replays a recorded two-sub-batch recovery:
+// compute[1] crashes mid-transfer in sub-batch 0 (preempted partial
+// reservation, cache dropped at the boundary) and rejoins empty in
+// sub-batch 1, where its input is re-staged from the surviving
+// replica. Both schedules must be sound — and the fixture must
+// actually bite: deleting the re-staging makes sub-batch 1 invalid.
+func TestCrashRecoveryFixture(t *testing.T) {
+	data, err := os.ReadFile("testdata/crash_recovery.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fix struct {
+		SubBatches []fixtureSchedule `json:"sub_batches"`
+	}
+	if err := json.Unmarshal(data, &fix); err != nil {
+		t.Fatal(err)
+	}
+	if len(fix.SubBatches) != 2 {
+		t.Fatalf("fixture has %d sub-batches, want 2", len(fix.SubBatches))
+	}
+	for i := range fix.SubBatches {
+		if v := fix.SubBatches[i].schedule().Validate(); len(v) != 0 {
+			t.Errorf("sub-batch %d invalid: %v", i, v)
+		}
+	}
+	// The crashed node must have rebooted empty.
+	reboot := fix.SubBatches[1]
+	if reboot.InitUsed[1] != 0 || len(reboot.InitHeld[1]) != 0 {
+		t.Fatal("fixture drifted: crashed node no longer rejoins with an empty cache")
+	}
+	// Negative control: without the recovery re-staging, the task on
+	// the rebooted node runs without its input.
+	broken := reboot
+	broken.Stages = nil
+	assertViolations(t, broken.schedule().Validate(), "without input file 0 ever staged")
+}

@@ -46,8 +46,8 @@ func buildFuzzHypergraph(data []byte) (h *Hypergraph, k int, seed int64) {
 func FuzzPartitionKWay(f *testing.F) {
 	f.Add([]byte{10, 0, 1, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5})
 	f.Add([]byte{31, 2, 7, 9, 3, 8, 1, 0, 30, 12, 13})
-	f.Add([]byte{2, 0, 0})            // minimal: 2 vertices, no nets
-	f.Add([]byte{20, 3, 42})          // vertices only, k=5
+	f.Add([]byte{2, 0, 0})             // minimal: 2 vertices, no nets
+	f.Add([]byte{20, 3, 42})           // vertices only, k=5
 	f.Add(bytes.Repeat([]byte{5}, 40)) // degenerate: all self-loops
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, k, seed := buildFuzzHypergraph(data)
