@@ -9,7 +9,7 @@ help:
 	@echo "  make verify        - full tier-1 gate: build, vet, lint, test, race, fuzz-short"
 	@echo "  make build         - compile every package"
 	@echo "  make vet           - go vet"
-	@echo "  make lint          - run schedlint, the repo's determinism-contract analyzer"
+	@echo "  make lint          - run schedlint -strict (7 checks + suppression-hygiene audit)"
 	@echo "  make test          - unit tests"
 	@echo "  make race          - unit tests under the race detector"
 	@echo "  make fuzz-short    - one short iteration of each fuzz target"
@@ -29,9 +29,11 @@ vet:
 # schedlint (cmd/schedlint) statically enforces the determinism
 # contract: no map-order-dependent writes, no wall clock or global
 # rand in solver packages, no scheduling-order merges, no float
-# accumulation in map order. See DESIGN.md §8.
+# accumulation in map order, no order-tainted commits (interprocedural
+# dataflow), no lock-order cycles. -strict additionally audits the
+# allow annotations themselves. See DESIGN.md §8 and §11.
 lint:
-	$(GO) run ./cmd/schedlint -dir .
+	$(GO) run ./cmd/schedlint -dir . -strict
 
 test:
 	$(GO) test ./...

@@ -1,20 +1,25 @@
 // Command schedlint statically enforces the repository's determinism
 // contract: fixed seed ⇒ identical schedules at any worker count. It
 // loads every package of the module with go/parser + go/types (no
-// external dependencies, no subprocesses) and reports violations of
-// five project-specific rules — detrange, nowallclock, mergeorder,
-// floataccum, tracepurity — with file:line:col positions. Individual
+// external dependencies, no subprocesses), builds a module-local call
+// graph, and reports violations of seven project-specific rules —
+// detrange, nowallclock, mergeorder, floataccum, tracepurity,
+// ordertaint, lockorder — with file:line:col positions. Individual
 // lines are waived with
 //
 //	//schedlint:allow <check>[,<check>...] <reason>
 //
-// on the offending line or the line above. Exit status: 0 clean,
-// 1 findings, 2 usage or load error.
+// on the offending line or the line above; -strict audits the waivers
+// themselves (stale entries, typo'd check names). Output is -format
+// text (default, line-oriented), json, or sarif (for CI annotation).
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +32,9 @@ func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list registered checks and exit")
 	quiet := flag.Bool("q", false, "suppress the summary line")
+	strict := flag.Bool("strict", false, "audit allow annotations too: flag stale entries and unregistered check names")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	outPath := flag.String("o", "", "write the report to this file instead of stdout (exit status still reflects findings)")
 	flag.Parse()
 
 	if *list {
@@ -49,17 +57,41 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := analysis.Config{}
+	cfg := analysis.Config{Strict: *strict}
 	if *checks != "" {
 		cfg.Checks = strings.Split(*checks, ",")
 	}
 	findings := analysis.Run(pkgs, cfg)
-	for _, f := range findings {
-		pos := f.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+
+	var out io.Writer = os.Stdout
+	var file *os.File
+	if *outPath != "" {
+		file, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Check, f.Msg)
+		out = bufio.NewWriter(file)
+	}
+	switch *format {
+	case "text":
+		err = analysis.WriteText(out, findings, root)
+	case "json":
+		err = analysis.WriteJSON(out, findings, root)
+	case "sarif":
+		err = analysis.WriteSARIF(out, findings, root)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if file != nil {
+		if err := out.(*bufio.Writer).Flush(); err != nil {
+			fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if len(findings) > 0 {
 		if !*quiet {

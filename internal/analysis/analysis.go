@@ -14,13 +14,25 @@
 //	tracepurity — wall-clock reads anywhere outside internal/obs, the
 //	              module's designated clock boundary; every other site
 //	              must carry an annotated justification
+//	ordertaint  — interprocedural order-taint dataflow: values derived
+//	              from map iteration, channel-receive completion, or the
+//	              unseeded RNG committed to schedule state, shared state
+//	              via a callee, or encoded output
+//	lockorder   — cycles in the module's lock-acquisition graph, the
+//	              ABBA deadlock class the race detector cannot see
+//
+// The last two (plus the transitive halves of nowallclock and
+// tracepurity) run on a shared interprocedural engine: a module-local
+// call graph with per-function taint summaries, clock-reader closure,
+// and transitive lock-acquisition sets (DESIGN.md §11).
 //
 // Findings are suppressed line-by-line with
 //
 //	//schedlint:allow <check>[,<check>...] [reason]
 //
-// placed on the offending line or the line directly above it. The
-// package is built exclusively on the standard library (go/ast,
+// placed on the offending line or the line directly above it. Strict
+// mode audits the annotations themselves (allowstale, allowunknown).
+// The package is built exclusively on the standard library (go/ast,
 // go/parser, go/types), preserving the module's zero-dependency stance.
 package analysis
 
@@ -51,8 +63,15 @@ type Config struct {
 	Checks []string
 	// DeterministicPaths are import-path prefixes of packages whose
 	// output must be a pure function of their inputs and seeds.
-	// detrange, nowallclock and floataccum only fire inside these.
+	// detrange, nowallclock, floataccum and ordertaint only fire
+	// inside these.
 	DeterministicPaths []string
+	// Strict additionally audits the suppression annotations
+	// themselves: an allow entry naming an unregistered check is
+	// reported as allowunknown, and an entry that suppressed nothing
+	// during the run is reported as allowstale. Hygiene findings
+	// cannot themselves be suppressed.
+	Strict bool
 }
 
 // DefaultDeterministicPaths lists the solver packages of this
@@ -83,7 +102,14 @@ var allChecks = []check{
 	{name: "mergeorder", deterministicOnly: false, run: runMergeOrder},
 	{name: "floataccum", deterministicOnly: true, run: runFloatAccum},
 	{name: "tracepurity", deterministicOnly: false, run: runTracePurity},
+	{name: "ordertaint", deterministicOnly: true, run: runOrderTaint},
+	{name: "lockorder", deterministicOnly: false, run: runLockOrder},
 }
+
+// hygieneChecks are the strict-mode finding categories produced by the
+// suppression audit; they are not runnable checks but appear as rule
+// ids in findings and SARIF output.
+var hygieneChecks = []string{"allowstale", "allowunknown"}
 
 // CheckNames returns the registered check names.
 func CheckNames() []string {
@@ -98,7 +124,10 @@ func CheckNames() []string {
 type pass struct {
 	pkg      *Package
 	check    string
-	suppress suppressions
+	suppress *suppressions
+	eng      *engine
+	cfg      *Config
+	detPaths []string
 	out      *[]Finding
 }
 
@@ -127,7 +156,8 @@ func (p *pass) objectOf(id *ast.Ident) types.Object {
 }
 
 // Run analyzes the packages and returns all unsuppressed findings,
-// sorted by position.
+// sorted by position. With cfg.Strict it appends suppression-hygiene
+// findings (stale and unknown-check allow entries).
 func Run(pkgs []*Package, cfg Config) []Finding {
 	selected := map[string]bool{}
 	for _, name := range cfg.Checks {
@@ -137,9 +167,14 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 	if detPaths == nil {
 		detPaths = DefaultDeterministicPaths
 	}
+	supByPkg := make(map[*Package]*suppressions, len(pkgs))
+	for _, pkg := range pkgs {
+		supByPkg[pkg] = collectSuppressions(pkg)
+	}
+	eng := newEngine(pkgs, supByPkg)
+	ran := map[string]bool{}
 	var findings []Finding
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
 		det := isDeterministicPath(strings.TrimSuffix(pkg.Path, ".test"), detPaths)
 		for _, c := range allChecks {
 			if len(selected) > 0 && !selected[c.name] {
@@ -148,8 +183,13 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 			if c.deterministicOnly && !det {
 				continue
 			}
-			c.run(&pass{pkg: pkg, check: c.name, suppress: sup, out: &findings})
+			ran[c.name] = true
+			c.run(&pass{pkg: pkg, check: c.name, suppress: supByPkg[pkg],
+				eng: eng, cfg: &cfg, detPaths: detPaths, out: &findings})
 		}
+	}
+	if cfg.Strict {
+		findings = append(findings, auditSuppressions(pkgs, supByPkg, ran)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -162,9 +202,44 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
 	})
 	return findings
+}
+
+// auditSuppressions produces the strict-mode hygiene findings: allow
+// entries naming no registered check (a typo suppresses nothing,
+// silently) and entries whose check ran in this invocation yet
+// suppressed no finding (stale — the code they excused has moved or
+// been fixed). Staleness is judged against the checks that ran
+// globally, not per package: an allow for a check that can never run
+// in its package is exactly the kind of dead annotation -strict
+// exists to surface.
+func auditSuppressions(pkgs []*Package, supByPkg map[*Package]*suppressions, ran map[string]bool) []Finding {
+	registered := map[string]bool{"all": true}
+	for _, c := range allChecks {
+		registered[c.name] = true
+	}
+	known := strings.Join(CheckNames(), ", ")
+	anyRan := len(ran) > 0
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, entry := range supByPkg[pkg].entries {
+			switch {
+			case !registered[entry.check]:
+				out = append(out, Finding{Check: "allowunknown", Pos: entry.pos,
+					Msg: fmt.Sprintf("allow annotation names %q, which is not a registered check (known: %s); it suppresses nothing", entry.check, known)})
+			case entry.used:
+			case entry.check == "all" && anyRan, ran[entry.check]:
+				out = append(out, Finding{Check: "allowstale", Pos: entry.pos,
+					Msg: fmt.Sprintf("stale allow: no %s finding is suppressed here — remove the annotation or narrow its check list", entry.check)})
+			}
+		}
+	}
+	return out
 }
 
 func isDeterministicPath(path string, prefixes []string) bool {
@@ -176,21 +251,34 @@ func isDeterministicPath(path string, prefixes []string) bool {
 	return false
 }
 
-// suppressions maps file → line → set of allowed check names ("all"
-// allows every check).
-type suppressions map[string]map[int]map[string]bool
+// allowEntry is one check name of one //schedlint:allow annotation,
+// with usage tracking for the strict-mode staleness audit. An
+// annotation listing N checks produces N entries sharing a position.
+type allowEntry struct {
+	pos   token.Position // position of the annotation comment
+	check string
+	used  bool
+}
+
+// suppressions indexes a package's allow annotations by file and line.
+type suppressions struct {
+	entries []*allowEntry
+	index   map[string]map[int][]*allowEntry
+}
 
 const allowPrefix = "schedlint:allow"
 
-// collectSuppressions scans every comment of the package for
-// //schedlint:allow annotations.
-func collectSuppressions(pkg *Package) suppressions {
-	sup := suppressions{}
+// collectSuppressions scans every comment of the package for allow
+// annotations, in both line- and block-comment form (in the latter the
+// closing delimiter is stripped so it cannot glue onto the last check
+// name).
+func collectSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{index: map[string]map[int][]*allowEntry{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-				text = strings.TrimSpace(text)
+				text = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(text), "*/"))
 				rest, ok := strings.CutPrefix(text, allowPrefix)
 				if !ok {
 					continue
@@ -200,18 +288,19 @@ func collectSuppressions(pkg *Package) suppressions {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := sup[pos.Filename]
+				lines := sup.index[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					sup[pos.Filename] = lines
-				}
-				checks := lines[pos.Line]
-				if checks == nil {
-					checks = map[string]bool{}
-					lines[pos.Line] = checks
+					lines = map[int][]*allowEntry{}
+					sup.index[pos.Filename] = lines
 				}
 				for _, name := range strings.Split(fields[0], ",") {
-					checks[strings.TrimSpace(name)] = true
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					entry := &allowEntry{pos: pos, check: name}
+					sup.entries = append(sup.entries, entry)
+					lines[pos.Line] = append(lines[pos.Line], entry)
 				}
 			}
 		}
@@ -219,19 +308,27 @@ func collectSuppressions(pkg *Package) suppressions {
 	return sup
 }
 
-// allows reports whether the check is suppressed at the position: an
-// allow annotation on the same line or the line directly above.
-func (s suppressions) allows(pos token.Position, check string) bool {
-	lines := s[pos.Filename]
+// allows reports whether the check is suppressed at the position — an
+// allow annotation on the same line or the line directly above — and
+// marks every matching entry used for the staleness audit.
+func (s *suppressions) allows(pos token.Position, check string) bool {
+	if s == nil {
+		return false
+	}
+	lines := s.index[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if cs := lines[line]; cs != nil && (cs[check] || cs["all"]) {
-			return true
+		for _, entry := range lines[line] {
+			if entry.check == check || entry.check == "all" {
+				entry.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 // ---- shared AST helpers used by the individual checks ----

@@ -109,8 +109,8 @@ func TestDeterministicScoping(t *testing.T) {
 }
 
 // TestAllSuppression proves the "all" wildcard: a fixture loaded with
-// every check enabled reports nothing on lines allowed with
-// schedlint:allow all.
+// every check enabled reports nothing on lines carrying an allow-all
+// annotation.
 func TestAllSuppression(t *testing.T) {
 	got := loadFixture(t, "allow_all", Config{
 		DeterministicPaths: []string{"fixture/allow_all"},
@@ -143,8 +143,10 @@ func TestTracePurityObsExempt(t *testing.T) {
 }
 
 // TestRepoIsClean is the acceptance gate behind `make lint`: the
-// analyzer, with the default configuration, reports zero findings on
-// the repository itself.
+// analyzer, in strict mode with the default configuration, reports
+// zero findings on the repository itself — no rule violations, and
+// every remaining allow annotation both names a real check and
+// suppresses something.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -164,8 +166,56 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loader found no packages")
 	}
-	findings := Run(pkgs, Config{})
+	findings := Run(pkgs, Config{Strict: true})
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestOrderTaintCatchesWhatDetrangeMisses pins the motivating gap: on
+// the ordertaint fixture — whose bugs hide the map iteration behind a
+// function boundary, a channel, or the RNG — the per-line detrange
+// pattern match reports nothing, while the interprocedural taint check
+// reports every one (the golden file holds the exact findings).
+func TestOrderTaintCatchesWhatDetrangeMisses(t *testing.T) {
+	cfg := Config{
+		Checks:             []string{"detrange"},
+		DeterministicPaths: []string{"fixture/ordertaint"},
+	}
+	if got := loadFixture(t, "ordertaint", cfg); len(got) != 0 {
+		t.Errorf("detrange unexpectedly fired on the cross-function fixture:\n  %s", strings.Join(got, "\n  "))
+	}
+	cfg.Checks = []string{"ordertaint"}
+	if got := loadFixture(t, "ordertaint", cfg); len(got) == 0 {
+		t.Error("ordertaint reported nothing on its own fixture")
+	}
+}
+
+// TestStrictHygiene audits the suppression annotations themselves: a
+// used block-comment allow passes silently, a stale allow and a typo'd
+// check name are each reported once, and the typo'd annotation fails
+// to suppress the finding beneath it.
+func TestStrictHygiene(t *testing.T) {
+	got := loadFixture(t, "stricthygiene", Config{
+		Checks:             []string{"detrange"},
+		DeterministicPaths: []string{"fixture/stricthygiene"},
+		Strict:             true,
+	})
+	count := map[string]int{}
+	for _, line := range got {
+		for _, check := range []string{"allowstale", "allowunknown", "detrange"} {
+			if strings.Contains(line, " "+check+": ") {
+				count[check]++
+			}
+		}
+	}
+	if len(got) != 3 || count["allowstale"] != 1 || count["allowunknown"] != 1 || count["detrange"] != 1 {
+		t.Errorf("want exactly one allowstale, one allowunknown, one detrange; got:\n  %s",
+			strings.Join(got, "\n  "))
+	}
+	for _, line := range got {
+		if strings.Contains(line, ":13:") || strings.Contains(line, ":12:") {
+			t.Errorf("the used block-comment allow leaked a finding: %s", line)
+		}
 	}
 }

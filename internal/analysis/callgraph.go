@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-local call graph every interprocedural
+// check (ordertaint, lockorder, and the transitive halves of
+// nowallclock/tracepurity) walks. It is constructed purely from the
+// loader's type information — no SSA, no go/packages:
+//
+//   - one node per declared function or method with a body, plus one
+//     node per function literal (goroutine bodies, deferred closures,
+//     comparators) with an edge from the enclosing function to the
+//     literal at the literal's position — a literal "may be invoked"
+//     wherever it syntactically appears, which over-approximates go,
+//     defer, and callback invocation alike;
+//   - static calls (package functions, concrete methods) resolve to
+//     their single callee;
+//   - interface method calls resolve through method sets to every
+//     module-local concrete type implementing the interface — sound
+//     for module-internal dynamism, silent on externally-provided
+//     implementations;
+//   - calls through function-typed variables are recorded as
+//     unresolved (the node is marked, downstream passes stay
+//     conservative about what they prove, not about what they report).
+//
+// Besides edges, each node carries the raw facts the engine filters
+// later: wall-clock and global-rand call sites, and mutex
+// lock/unlock operations with their resolved lock identities.
+type callGraph struct {
+	// nodes in deterministic order: (package path, position).
+	nodes  []*cgNode
+	byFunc map[*types.Func]*cgNode
+	byLit  map[*ast.FuncLit]*cgNode
+	// namedTypes is every module-local defined type, used to resolve
+	// interface method calls through method sets.
+	namedTypes []*types.Named
+}
+
+// cgNode is one function body: a declared function/method or a
+// function literal.
+type cgNode struct {
+	pkg *Package
+	// fn is nil for function literals.
+	fn  *types.Func
+	lit *ast.FuncLit
+	// decl is nil for function literals.
+	decl *ast.FuncDecl
+	body *ast.BlockStmt
+	pos  token.Pos
+
+	calls []cgCall
+	// unresolved marks at least one call through a function value.
+	unresolved bool
+
+	// Raw per-body facts (unfiltered by suppressions; the engine
+	// applies those when seeding fixpoints).
+	clockReads []extCall // time.Now / time.Since / time.Until
+	randReads  []extCall // global math/rand stream draws
+	lockOps    []lockOp
+}
+
+// name returns a human-readable identity for messages.
+func (n *cgNode) name() string {
+	if n.fn != nil {
+		if recv := n.fn.Type().(*types.Signature).Recv(); recv != nil {
+			return shortTypeName(recv.Type()) + "." + n.fn.Name()
+		}
+		return n.fn.Name()
+	}
+	return "func literal"
+}
+
+// cgCall is one call site inside a node's body.
+type cgCall struct {
+	pos token.Pos
+	// node is the module-local callee (nil when external/unresolved).
+	node *cgNode
+}
+
+// extCall is a call to an external package function we classify
+// (time.Now, rand.Shuffle, …).
+type extCall struct {
+	pos  token.Pos
+	name string // qualified, e.g. "time.Now"
+}
+
+// lockOp is one mutex operation with its resolved lock identity.
+type lockOp struct {
+	pos token.Pos
+	// obj identifies the lock at class level: the struct field
+	// (all instances of Metrics.mu are one lock) or the variable.
+	obj     types.Object
+	name    string // display name, e.g. "Metrics.mu"
+	acquire bool   // Lock/RLock vs Unlock/RUnlock
+	// deferred marks `defer mu.Unlock()`: the release happens at
+	// function exit, so the lock stays held for the rest of the body.
+	deferred bool
+}
+
+// buildCallGraph constructs the graph over every loaded package.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	cg := &callGraph{
+		byFunc: map[*types.Func]*cgNode{},
+		byLit:  map[*ast.FuncLit]*cgNode{},
+	}
+	// Pass 0: collect named types for interface resolution.
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, nm := range scope.Names() {
+			if tn, ok := scope.Lookup(nm).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					cg.namedTypes = append(cg.namedTypes, named)
+				}
+			}
+		}
+	}
+	// Pass 1: create nodes for every declared function and literal.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &cgNode{pkg: pkg, fn: fn, decl: fd, body: fd.Body, pos: fd.Pos()}
+				cg.byFunc[fn] = n
+				cg.nodes = append(cg.nodes, n)
+			}
+		}
+	}
+	// Pass 2: walk each declared body, splitting out literals into
+	// their own nodes and recording calls/facts per innermost body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				cg.walkBody(cg.byFunc[fn], pkg, fd.Body)
+			}
+		}
+	}
+	sort.SliceStable(cg.nodes, func(i, j int) bool {
+		a, b := cg.nodes[i], cg.nodes[j]
+		if a.pkg.Path != b.pkg.Path {
+			return a.pkg.Path < b.pkg.Path
+		}
+		return a.pos < b.pos
+	})
+	return cg
+}
+
+// walkBody records calls and facts of body into owner, creating child
+// nodes for nested function literals (which are walked recursively).
+func (cg *callGraph) walkBody(owner *cgNode, pkg *Package, body *ast.BlockStmt) {
+	var inDefer []ast.Node // DeferStmt call exprs, to mark deferred unlocks
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			child := &cgNode{pkg: pkg, lit: x, body: x.Body, pos: x.Pos()}
+			cg.byLit[x] = child
+			cg.nodes = append(cg.nodes, child)
+			owner.calls = append(owner.calls, cgCall{pos: x.Pos(), node: child})
+			cg.walkBody(child, pkg, x.Body)
+			return false // child owns everything inside
+		case *ast.DeferStmt:
+			inDefer = append(inDefer, x.Call)
+			return true
+		case *ast.CallExpr:
+			deferred := false
+			for _, d := range inDefer {
+				if d == n {
+					deferred = true
+					break
+				}
+			}
+			cg.recordCall(owner, pkg, x, deferred)
+			return true
+		}
+		return true
+	})
+}
+
+// recordCall classifies one call expression.
+func (cg *callGraph) recordCall(owner *cgNode, pkg *Package, call *ast.CallExpr, deferred bool) {
+	fun := ast.Unparen(call.Fun)
+	switch fe := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fe].(type) {
+		case *types.Func:
+			cg.addEdge(owner, call.Pos(), obj)
+		case *types.Builtin, *types.TypeName:
+			// len/cap/append/conversions: no edge.
+		case *types.Var:
+			owner.unresolved = true // call through a function value
+		case nil:
+			// conversion to unnamed type, etc.
+		default:
+			owner.unresolved = true
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: walkBody already added the
+		// owner→literal edge when it visited the literal.
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fe]; ok {
+			// Method (or method-value) call.
+			mfn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				owner.unresolved = true
+				return
+			}
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				cg.addInterfaceEdges(owner, call.Pos(), iface, mfn.Name())
+			} else {
+				cg.classifyExternal(owner, fe, mfn, call, deferred)
+				cg.addEdge(owner, call.Pos(), mfn)
+			}
+			return
+		}
+		// Qualified call pkg.F(...).
+		if fn, ok := pkg.Info.Uses[fe.Sel].(*types.Func); ok {
+			cg.classifyExternal(owner, fe, fn, call, deferred)
+			cg.addEdge(owner, call.Pos(), fn)
+			return
+		}
+		if _, ok := pkg.Info.Uses[fe.Sel].(*types.Var); ok {
+			owner.unresolved = true // stored func field/value
+		}
+	default:
+		owner.unresolved = true
+	}
+}
+
+// addEdge links owner to the callee if it is module-local.
+func (cg *callGraph) addEdge(owner *cgNode, pos token.Pos, callee *types.Func) {
+	if n, ok := cg.byFunc[callee]; ok {
+		owner.calls = append(owner.calls, cgCall{pos: pos, node: n})
+	}
+}
+
+// addInterfaceEdges resolves an interface method call to every
+// module-local concrete implementation.
+func (cg *callGraph) addInterfaceEdges(owner *cgNode, pos token.Pos, iface *types.Interface, method string) {
+	for _, named := range cg.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		if mfn, ok := obj.(*types.Func); ok {
+			cg.addEdge(owner, pos, mfn)
+		}
+	}
+}
+
+// classifyExternal records wall-clock reads, global-rand draws, and
+// mutex operations when the callee is one of the classified externals.
+func (cg *callGraph) classifyExternal(owner *cgNode, sel *ast.SelectorExpr, fn *types.Func, call *ast.CallExpr, deferred bool) {
+	if fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch fn.Pkg().Path() {
+	case "time":
+		if sig != nil && sig.Recv() == nil && wallClockFuncs[fn.Name()] {
+			owner.clockReads = append(owner.clockReads, extCall{pos: sel.Pos(), name: "time." + fn.Name()})
+		}
+	case "math/rand", "math/rand/v2":
+		if sig != nil && sig.Recv() == nil && !globalRandAllowed[fn.Name()] {
+			owner.randReads = append(owner.randReads, extCall{pos: sel.Pos(), name: "rand." + fn.Name()})
+		}
+	case "sync":
+		if sig == nil || sig.Recv() == nil {
+			return
+		}
+		var acquire bool
+		switch fn.Name() {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return // TryLock etc.: no ordering obligation
+		}
+		if rt := shortTypeName(sig.Recv().Type()); rt != "Mutex" && rt != "RWMutex" {
+			return
+		}
+		if obj, name := owner.pkg.lockIdentity(sel.X); obj != nil {
+			owner.lockOps = append(owner.lockOps, lockOp{
+				pos: call.Pos(), obj: obj, name: name, acquire: acquire, deferred: deferred,
+			})
+		}
+	}
+}
+
+// lockIdentity resolves the mutex expression of x.Lock() to a stable
+// class-level identity: the struct field object for `v.mu` (every
+// instance of that field is one lock) or the variable object for a
+// plain `mu`. Returns nil for expressions we cannot name (map values,
+// call results) — those never form provable cycles.
+func (pkg *Package) lockIdentity(e ast.Expr) (types.Object, string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v, v.Name()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v, shortTypeName(sel.Recv()) + "." + v.Name()
+			}
+		}
+		// Qualified package-level var: pkg.mu.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return v, v.Name()
+		}
+	case *ast.StarExpr:
+		return pkg.lockIdentity(x.X)
+	}
+	return nil, ""
+}
+
+// shortTypeName renders a type's local name without package
+// qualifiers or pointer stars ("*obs.Metrics" → "Metrics").
+func shortTypeName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	s := t.String()
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

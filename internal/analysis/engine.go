@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// engine holds the interprocedural state shared by all checks of one
+// Run invocation: the call graph and the lazily-computed fixpoints
+// over it. Everything is deterministic — nodes are visited in
+// (package path, position) order and every merge keeps the
+// minimum-position witness.
+type engine struct {
+	pkgs []*Package
+	sup  map[*Package]*suppressions
+
+	cg *callGraph
+
+	// readers caches, per check name, the set of module functions
+	// that transitively reach an unsuppressed wall-clock (or, for
+	// nowallclock, global-rand) read, with the underlying read as
+	// witness.
+	readers map[string]map[*cgNode]extCall
+
+	// summaries holds the converged order-taint summaries.
+	summaries map[*cgNode]*taintSummary
+
+	// lockKeyCache interns lock identities once per Run: edges compare
+	// *lockKey by pointer, so every caller must see the same instances.
+	lockKeyCache map[types.Object]*lockKey
+	acqCache     map[*cgNode]map[*lockKey]lockWitness
+}
+
+func newEngine(pkgs []*Package, sup map[*Package]*suppressions) *engine {
+	return &engine{pkgs: pkgs, sup: sup, readers: map[string]map[*cgNode]extCall{}}
+}
+
+// graph builds the call graph on first use.
+func (e *engine) graph() *callGraph {
+	if e.cg == nil {
+		e.cg = buildCallGraph(e.pkgs)
+	}
+	return e.cg
+}
+
+// clockReaders returns the transitive clock-reader set gated by the
+// given check's allow annotations: a direct time.Now/Since/Until call
+// seeds its function unless the site carries //schedlint:allow <check>
+// (the justification then covers every transitive caller too), and
+// internal/obs — the designated clock boundary — never seeds nor
+// carries. With includeRand set, unsuppressed global math/rand draws
+// seed as well (the nowallclock variant).
+func (e *engine) clockReaders(check string, includeRand bool) map[*cgNode]extCall {
+	if m, ok := e.readers[check]; ok {
+		return m
+	}
+	cg := e.graph()
+	m := map[*cgNode]extCall{}
+	adopt := func(n *cgNode, r extCall) bool {
+		if w, ok := m[n]; !ok || r.pos < w.pos {
+			m[n] = r
+			return true
+		}
+		return false
+	}
+	for _, n := range cg.nodes {
+		if isObsPackage(n.pkg.Path) {
+			continue
+		}
+		seeds := n.clockReads
+		if includeRand {
+			seeds = append(append([]extCall{}, seeds...), n.randReads...)
+		}
+		for _, r := range seeds {
+			if e.sup[n.pkg].allows(n.pkg.Fset.Position(r.pos), check) {
+				continue
+			}
+			adopt(n, r)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range cg.nodes {
+			if isObsPackage(n.pkg.Path) {
+				continue
+			}
+			for _, c := range n.calls {
+				if c.node == nil || isObsPackage(c.node.pkg.Path) {
+					continue
+				}
+				if w, ok := m[c.node]; ok && adopt(n, w) {
+					changed = true
+				}
+			}
+		}
+	}
+	e.readers[check] = m
+	return m
+}
+
+// lockWitness records where (and through which immediate callee) a
+// node may acquire a lock.
+type lockWitness struct {
+	pos token.Pos
+	// via is the immediate module-local callee the acquisition is
+	// reached through; nil when the node locks directly.
+	via *cgNode
+}
+
+// acquires computes, for every node, the set of lock identities it may
+// acquire transitively (direct Lock/RLock plus anything its
+// module-local callees acquire).
+func (e *engine) acquires() map[*cgNode]map[*lockKey]lockWitness {
+	if e.acqCache != nil {
+		return e.acqCache
+	}
+	cg := e.graph()
+	acq := map[*cgNode]map[*lockKey]lockWitness{}
+	add := func(n *cgNode, k *lockKey, w lockWitness) bool {
+		s := acq[n]
+		if s == nil {
+			s = map[*lockKey]lockWitness{}
+			acq[n] = s
+		}
+		if old, ok := s[k]; !ok || w.pos < old.pos {
+			s[k] = w
+			return true
+		}
+		return false
+	}
+	keys := e.lockKeys()
+	for _, n := range cg.nodes {
+		for _, op := range n.lockOps {
+			if op.acquire {
+				add(n, keys[op.obj], lockWitness{pos: op.pos})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range cg.nodes {
+			for _, c := range n.calls {
+				if c.node == nil {
+					continue
+				}
+				// The witness keeps the original Lock position but
+				// names the first hop from this node's point of view.
+				for k, w := range acq[c.node] {
+					if add(n, k, lockWitness{pos: w.pos, via: c.node}) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	e.acqCache = acq
+	return acq
+}
+
+// lockKey is the canonical identity of one lock (class-level: a struct
+// field covers every instance).
+type lockKey struct {
+	name string // display name, e.g. "Metrics.mu"
+}
+
+// lockKeys interns the lock identities found anywhere in the module so
+// the same field/var maps to one *lockKey, across every caller of one
+// Run.
+func (e *engine) lockKeys() map[types.Object]*lockKey {
+	if e.lockKeyCache != nil {
+		return e.lockKeyCache
+	}
+	cg := e.graph()
+	keys := map[types.Object]*lockKey{}
+	for _, n := range cg.nodes {
+		for _, op := range n.lockOps {
+			if keys[op.obj] == nil {
+				keys[op.obj] = &lockKey{name: op.name}
+			}
+		}
+	}
+	e.lockKeyCache = keys
+	return keys
+}
+
+// taintSummaries converges the per-function order-taint summaries over
+// the call graph.
+func (e *engine) taintSummaries() map[*cgNode]*taintSummary {
+	if e.summaries != nil {
+		return e.summaries
+	}
+	cg := e.graph()
+	e.summaries = map[*cgNode]*taintSummary{}
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, n := range cg.nodes {
+			s := newTaintState(e, n).run()
+			old := e.summaries[n]
+			if old == nil || *old != s {
+				cp := s
+				e.summaries[n] = &cp
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e.summaries
+}
+
+// nodesOf returns the engine's call-graph nodes belonging to one
+// package, in position order.
+func (e *engine) nodesOf(pkg *Package) []*cgNode {
+	var out []*cgNode
+	for _, n := range e.graph().nodes {
+		if n.pkg == pkg {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// isDeterministicPkg reports whether the package path falls under the
+// configured deterministic prefixes.
+func isDeterministicPkg(path string, prefixes []string) bool {
+	return isDeterministicPath(strings.TrimSuffix(path, ".test"), prefixes)
+}

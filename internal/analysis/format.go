@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Output formats for cmd/schedlint. Text is the historical format and
+// stays byte-identical; JSON and SARIF carry the same findings, in the
+// same order, with a stable field order, so CI diffs and PR
+// annotations are reproducible artifacts.
+
+// Formats lists the supported -format values.
+var Formats = []string{"text", "json", "sarif"}
+
+// relativize rewrites a finding's filename relative to root when it
+// lies inside it (matching the CLI's historical text output).
+func relativize(root, filename string) string {
+	if root == "" {
+		return filename
+	}
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
+}
+
+// WriteText writes the classic line-oriented format:
+// file:line:col: check: message.
+func WriteText(w io.Writer, findings []Finding, root string) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relativize(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFinding is one finding in -format json output. Field order is
+// part of the format.
+type jsonFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+type jsonReport struct {
+	Version  string        `json:"version"`
+	Checks   []string      `json:"checks"`
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+// WriteJSON writes the findings as one indented JSON document.
+func WriteJSON(w io.Writer, findings []Finding, root string) error {
+	rep := jsonReport{
+		Version:  "schedlint/1",
+		Checks:   CheckNames(),
+		Findings: make([]jsonFinding, 0, len(findings)),
+		Count:    len(findings),
+	}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Check: f.Check, File: relativize(root, f.Pos.Filename),
+			Line: f.Pos.Line, Column: f.Pos.Column, Message: f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 subset — enough for GitHub code scanning and other CI
+// annotators: one run, one driver, one rule per check, one result per
+// finding with a physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// ruleDescriptions gives every rule id (runnable checks plus the
+// strict-mode hygiene categories) its one-line SARIF description.
+var ruleDescriptions = map[string]string{
+	"detrange":     "map iteration feeding order-dependent state in a deterministic package",
+	"nowallclock":  "wall-clock time or the global math/rand stream in a deterministic package",
+	"mergeorder":   "worker results merged in goroutine-scheduling order",
+	"floataccum":   "float accumulation in randomized map-iteration order",
+	"tracepurity":  "wall-clock read outside internal/obs, the designated clock boundary",
+	"ordertaint":   "order-tainted value committed to schedule state (interprocedural dataflow)",
+	"lockorder":    "lock-acquisition cycle: a deadlock the race detector cannot see",
+	"allowstale":   "schedlint:allow annotation that suppresses no finding",
+	"allowunknown": "schedlint:allow annotation naming an unregistered check",
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 document. URIs are
+// slash-separated and root-relative, rules cover every registered
+// check plus the hygiene categories, and both rules and results keep
+// the findings' deterministic order.
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	var rules []sarifRule
+	for _, name := range append(CheckNames(), hygieneChecks...) {
+		rules = append(rules, sarifRule{ID: name,
+			ShortDescription: sarifMessage{Text: ruleDescriptions[name]}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relativize(root, f.Pos.Filename))},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "schedlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Check: "detrange", Pos: token.Position{Filename: "/repo/internal/x/a.go", Line: 12, Column: 2},
+			Msg: "map iteration writes to out"},
+		{Check: "lockorder", Pos: token.Position{Filename: "/elsewhere/b.go", Line: 3, Column: 1},
+			Msg: "acquires b while holding a"},
+	}
+}
+
+// TestWriteText pins the classic line format byte-for-byte: paths
+// inside the root are relativized, paths outside it are left alone.
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	want := "internal/x/a.go:12:2: detrange: map iteration writes to out\n" +
+		"/elsewhere/b.go:3:1: lockorder: acquires b while holding a\n"
+	if buf.String() != want {
+		t.Errorf("text output changed:\ngot:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+// TestWriteJSON checks the schedlint/1 report: version, counts, and
+// per-finding fields round-trip.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version  string   `json:"version"`
+		Checks   []string `json:"checks"`
+		Findings []struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Version != "schedlint/1" || rep.Count != 2 || len(rep.Findings) != 2 {
+		t.Errorf("report header wrong: version=%q count=%d findings=%d", rep.Version, rep.Count, len(rep.Findings))
+	}
+	if len(rep.Checks) != len(CheckNames()) {
+		t.Errorf("checks list has %d entries, want %d", len(rep.Checks), len(CheckNames()))
+	}
+	f := rep.Findings[0]
+	if f.Check != "detrange" || f.File != "internal/x/a.go" || f.Line != 12 || f.Column != 2 {
+		t.Errorf("first finding mangled: %+v", f)
+	}
+}
+
+// TestWriteSARIF checks the SARIF 2.1.0 envelope: schema, one run, a
+// rule per registered check plus the hygiene categories, and
+// slash-separated root-relative artifact URIs.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("envelope wrong: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "schedlint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if want := len(CheckNames()) + len(hygieneChecks); len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules: got %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results: got %d, want 2", len(run.Results))
+	}
+	res := run.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "detrange" || res.Level != "error" ||
+		loc.ArtifactLocation.URI != "internal/x/a.go" ||
+		loc.Region.StartLine != 12 || loc.Region.StartColumn != 2 {
+		t.Errorf("first result mangled: %+v", res)
+	}
+}

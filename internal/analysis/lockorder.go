@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// runLockOrder extracts the module's lock-acquisition graph and flags
+// cycles — the deadlock class `go test -race` cannot see, because a
+// race-free ABBA deadlock only manifests when two goroutines actually
+// interleave the acquisitions.
+//
+// Locks are identified at class level: every instance of a struct
+// field (`Metrics.mu`) is one vertex, as is each package-level or
+// local mutex variable. Within each function the acquisition sites are
+// replayed in source order — Lock/RLock acquires, Unlock/RUnlock
+// releases, `defer mu.Unlock()` holds to function exit — and while a
+// lock is held, every further acquisition adds an edge, including
+// acquisitions made inside callees, interprocedurally through the call
+// graph. A self-edge (an instance of a field acquired while another
+// instance of the same field is held) is reported too: without a
+// global instance order, two goroutines running the same code on
+// swapped receivers deadlock.
+//
+// The check is conservative in the usual directions (DESIGN.md §11):
+// source order approximates control flow, goroutine bodies count as
+// invoked at their syntactic position, and calls through function
+// values are invisible, so a clean report is evidence, not proof.
+func runLockOrder(p *pass) {
+	type edge struct {
+		from, to *lockKey
+		pos      token.Pos
+		via      *cgNode // immediate callee for inherited acquisitions
+	}
+	// The lock graph spans the whole module but each package pass
+	// reports only its own edges, keeping findings suppressible where
+	// they arise and the whole analysis single-pass per Run (the
+	// engine caches the graph; re-deriving edges per package is cheap).
+	keys := p.eng.lockKeys()
+	acq := p.eng.acquires()
+	var edges []edge
+	for _, n := range p.eng.graph().nodes {
+		type heldLock struct{ key *lockKey }
+		var held []heldLock
+		// Merge lock operations and call sites into source order.
+		type event struct {
+			pos  token.Pos
+			op   *lockOp
+			call *cgCall
+		}
+		var events []event
+		for i := range n.lockOps {
+			events = append(events, event{pos: n.lockOps[i].pos, op: &n.lockOps[i]})
+		}
+		for i := range n.calls {
+			if n.calls[i].node != nil {
+				events = append(events, event{pos: n.calls[i].pos, call: &n.calls[i]})
+			}
+		}
+		sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		for _, ev := range events {
+			switch {
+			case ev.op != nil && ev.op.acquire:
+				k := keys[ev.op.obj]
+				for _, h := range held {
+					edges = append(edges, edge{from: h.key, to: k, pos: ev.op.pos})
+				}
+				if ev.op.deferred {
+					break // deferred acquire runs at exit; ignore
+				}
+				held = append(held, heldLock{key: k})
+			case ev.op != nil: // release
+				if ev.op.deferred {
+					break // releases at exit: lock stays held below
+				}
+				k := keys[ev.op.obj]
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].key == k {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case ev.call != nil && len(held) > 0:
+				// Sorted by lock name: edge order must not depend on
+				// Go's own map iteration order, of all things.
+				inherited := make([]*lockKey, 0, len(acq[ev.call.node]))
+				for k := range acq[ev.call.node] {
+					inherited = append(inherited, k)
+				}
+				sort.Slice(inherited, func(i, j int) bool { return inherited[i].name < inherited[j].name })
+				for _, k := range inherited {
+					for _, h := range held {
+						edges = append(edges, edge{from: h.key, to: k, pos: ev.call.pos, via: ev.call.node})
+					}
+				}
+			}
+		}
+	}
+	// Adjacency + reachability over lock keys.
+	adj := map[*lockKey]map[*lockKey]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[*lockKey]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	var reaches func(from, to *lockKey, seen map[*lockKey]bool) bool
+	reaches = func(from, to *lockKey, seen map[*lockKey]bool) bool {
+		if adj[from][to] {
+			return true
+		}
+		seen[from] = true
+		for next := range adj[from] {
+			if !seen[next] && reaches(next, to, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	// Report this package's cycle edges, deduplicated per (from, to,
+	// line) so one Lock call yields one finding.
+	reported := map[string]bool{}
+	for _, e := range edges {
+		pos := p.pkg.Fset.Position(e.pos)
+		if !samePackageFile(p.pkg, pos.Filename) {
+			continue
+		}
+		if !reaches(e.to, e.from, map[*lockKey]bool{}) {
+			continue
+		}
+		dk := e.from.name + "→" + e.to.name + "@" + pos.Filename + ":" + strconv.Itoa(pos.Line)
+		if reported[dk] {
+			continue
+		}
+		reported[dk] = true
+		if e.from == e.to {
+			what := "acquires " + e.to.name + " while an instance of it is already held"
+			if e.via != nil {
+				what = "holds " + e.from.name + " and calls " + e.via.name() + ", which acquires another instance of it"
+			}
+			p.reportf(e.pos, "%s; two goroutines locking the instances in opposite orders deadlock — release first, or impose a global instance order", what)
+			continue
+		}
+		what := "acquires " + e.to.name + " while holding " + e.from.name
+		if e.via != nil {
+			what = "holds " + e.from.name + " and calls " + e.via.name() + ", which acquires " + e.to.name
+		}
+		p.reportf(e.pos, "%s, and the reverse order also occurs elsewhere (lock-order cycle, a deadlock the race detector cannot see); impose one global acquisition order", what)
+	}
+}
+
+// samePackageFile reports whether the file belongs to the pass's
+// package (edges span the module; findings must not).
+func samePackageFile(pkg *Package, filename string) bool {
+	for _, name := range pkg.FileName {
+		if name == filename {
+			return true
+		}
+	}
+	return filepath.Dir(filename) == pkg.Dir
+}

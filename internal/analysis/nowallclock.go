@@ -3,6 +3,8 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
+	"strconv"
 )
 
 // wallClockFuncs are the time-package functions that read the wall
@@ -24,6 +26,13 @@ var globalRandAllowed = map[string]bool{
 // fixed seed reproduces the same schedule on any machine at any worker
 // count. Methods on *rand.Rand are fine — only the package-level
 // functions drawing from the shared global source are flagged.
+//
+// Beyond the direct reads, the check walks the module call graph: a
+// wall-clock read laundered through a helper wrapper — possibly in a
+// package the check is not scoped to — is reported at the transitive
+// call site inside the deterministic package. A //schedlint:allow
+// nowallclock on the underlying read covers its transitive callers
+// too: the justification travels with the read, not with every caller.
 func runNoWallClock(p *pass) {
 	for _, f := range p.pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -50,5 +59,32 @@ func runNoWallClock(p *pass) {
 			}
 			return true
 		})
+	}
+	reportTransitiveReads(p, "nowallclock", true,
+		"call to %s reaches %s at %s; a wall-clock or global-rand read laundered through a helper still breaks determinism — thread deadlines/seeds as parameters or annotate //schedlint:allow nowallclock <reason> at the read")
+}
+
+// reportTransitiveReads flags, inside the pass's package, every call
+// whose module-local callee transitively performs an unsuppressed
+// wall-clock read (plus global-rand draws when includeRand is set).
+// Calls into internal/obs are exempt — that package is the designated
+// clock boundary — and edges to function literals are skipped: a
+// literal's reads surface either directly or through its enclosing
+// function's callers.
+func reportTransitiveReads(p *pass, check string, includeRand bool, format string) {
+	readers := p.eng.clockReaders(check, includeRand)
+	for _, n := range p.eng.nodesOf(p.pkg) {
+		for _, c := range n.calls {
+			if c.node == nil || c.node.fn == nil || isObsPackage(c.node.pkg.Path) {
+				continue
+			}
+			w, ok := readers[c.node]
+			if !ok {
+				continue
+			}
+			wp := p.pkg.Fset.Position(w.pos)
+			p.reportf(c.pos, format, c.node.name(), w.name,
+				filepath.Base(wp.Filename)+":"+strconv.Itoa(wp.Line))
+		}
 	}
 }

@@ -1,0 +1,31 @@
+package analysis
+
+// runOrderTaint is the interprocedural successor to detrange's local
+// pattern match: it follows order-tainted values — map iteration,
+// channel-receive completion, select, unseeded RNG — through
+// assignments, composite literals, returns, and calls (per-function
+// summaries over the module call graph), and reports when one reaches
+// committed schedule state in a deterministic package: a store through
+// a parameter, the receiver, or package-level state, a call into a
+// module function that performs such a store, or encoded output.
+//
+// Sanitizers clear taint: passing a slice through a canonical sort
+// (sort.*, slices.Sort*) restores a deterministic order. Suppression
+// is source-anchored: //schedlint:allow ordertaint on the source (the
+// range statement, receive, …) kills everything derived from it, so a
+// justified total-order tie-break needs one annotation next to its
+// justification rather than one per downstream sink.
+//
+// The canonical catch is the cross-function growInitial variant: a
+// helper returning the first key of a map iteration has no outer write
+// for detrange to see, but its caller committing the returned vertex
+// into the partition array is exactly the nondeterminism the contract
+// bans.
+func runOrderTaint(p *pass) {
+	p.eng.taintSummaries()
+	for _, n := range p.eng.nodesOf(p.pkg) {
+		st := newTaintState(p.eng, n)
+		st.pass = p
+		st.run()
+	}
+}

@@ -1,0 +1,580 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// Order-taint dataflow. A value is order-tainted when it derives from
+// a source whose *order* the Go runtime deliberately randomizes or the
+// scheduler controls: map iteration, channel-receive completion
+// (including `select`), and the unseeded global RNG. Taint propagates
+// through assignments, composite literals, arithmetic, indexing,
+// returns, and calls (via per-function summaries on the call graph),
+// and is cleared by recognized sanitizers — passing the value through
+// a canonical sort. The ordertaint check reports when a tainted value
+// reaches committed schedule state in a deterministic package.
+//
+// The analysis is deliberately conservative in documented ways (see
+// DESIGN.md §11): flow-sensitivity is approximated by source order
+// within a bounded fixpoint (a plain assignment to a bare local is a
+// strong update — last assignment wins, so re-sorting a slice really
+// does clear it), control-flow (implicit) taint is not tracked, and
+// closures are analyzed as separate bodies without captured-variable
+// flow.
+
+// taintKind distinguishes the two things a summary must separate:
+// intrinsic taint (the function manufactures order-dependence) and
+// parameter taint (order-dependence flows through from the caller).
+type taintKind uint8
+
+const (
+	taintIntrinsic taintKind = 1 << iota
+	taintParam
+)
+
+// taintVal is the lattice value tracked per variable/expression: the
+// kinds plus a deterministic witness for the intrinsic part.
+type taintVal struct {
+	kinds taintKind
+	src   token.Pos // position of the intrinsic source (min wins)
+	desc  string    // e.g. "map iteration", "channel receive"
+}
+
+func (v taintVal) union(o taintVal) taintVal {
+	out := taintVal{kinds: v.kinds | o.kinds, src: v.src, desc: v.desc}
+	if o.kinds&taintIntrinsic != 0 && (v.kinds&taintIntrinsic == 0 || o.src < v.src) {
+		out.src, out.desc = o.src, o.desc
+	}
+	return out
+}
+
+// taintSummary is the interprocedural contract of one function.
+type taintSummary struct {
+	// results holds the kinds reaching any return value.
+	results taintKind
+	// commits holds the kinds reaching a committed store (receiver,
+	// pointer/slice/map parameter, or package-level state) inside the
+	// body — taintParam here means "stores its arguments".
+	commits taintKind
+	// origin describes the intrinsic source when results or commits
+	// carry taintIntrinsic.
+	originPos  token.Pos
+	originDesc string
+}
+
+// sortSanitizers are the canonical deterministic-order calls: passing
+// a slice through any of them clears its taint. Comparator determinism
+// is assumed, not verified (DESIGN.md §11).
+var sortSanitizers = map[string]bool{
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true,
+	"sort.SliceStable": true, "sort.Strings": true, "sort.Ints": true,
+	"sort.Float64s": true,
+	"slices.Sort":   true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// taintState runs the local dataflow over one call-graph node.
+type taintState struct {
+	eng  *engine
+	n    *cgNode
+	vals map[types.Object]taintVal
+	// params marks the parameters and receiver (for committed-store
+	// classification and taintParam seeding).
+	params  map[types.Object]bool
+	summary taintSummary
+	// pass is non-nil only during the reporting run over a
+	// deterministic package; sinks then produce findings.
+	pass *pass
+}
+
+func newTaintState(eng *engine, n *cgNode) *taintState {
+	st := &taintState{eng: eng, n: n,
+		vals: map[types.Object]taintVal{}, params: map[types.Object]bool{}}
+	var ft *ast.FuncType
+	if n.decl != nil {
+		ft = n.decl.Type
+		if n.decl.Recv != nil {
+			for _, f := range n.decl.Recv.List {
+				st.addParams(f)
+			}
+		}
+	} else if n.lit != nil {
+		ft = n.lit.Type
+	}
+	if ft != nil && ft.Params != nil {
+		for _, f := range ft.Params.List {
+			st.addParams(f)
+		}
+	}
+	return st
+}
+
+func (st *taintState) addParams(f *ast.Field) {
+	for _, name := range f.Names {
+		if obj := st.n.pkg.Info.Defs[name]; obj != nil {
+			st.params[obj] = true
+			st.vals[obj] = taintVal{kinds: taintParam}
+		}
+	}
+}
+
+// run iterates the body to a bounded fixpoint, then (when reporting)
+// makes one final emitting walk with the converged state.
+func (st *taintState) run() taintSummary {
+	for i := 0; i < 6; i++ {
+		if !st.walk(false) {
+			break
+		}
+	}
+	if st.pass != nil {
+		st.walk(true)
+	}
+	return st.summary
+}
+
+// sourceVal constructs an intrinsic taint value unless the source
+// position carries an ordertaint allow annotation (suppressing the
+// source kills everything downstream of it, which keeps annotations at
+// the source, next to the justification, instead of at every sink).
+func (st *taintState) sourceVal(pos token.Pos, desc string) taintVal {
+	if st.eng.sup[st.n.pkg].allows(st.n.pkg.Fset.Position(pos), "ordertaint") {
+		return taintVal{}
+	}
+	return taintVal{kinds: taintIntrinsic, src: pos, desc: desc}
+}
+
+// walk makes one in-order pass over the body, updating state; with
+// emit set it also reports sink hits through st.pass. Returns whether
+// any variable's taint changed.
+func (st *taintState) walk(emit bool) bool {
+	changed := false
+	assign := func(obj types.Object, tv taintVal) {
+		if obj == nil || tv.kinds == 0 {
+			return
+		}
+		old := st.vals[obj]
+		nw := old.union(tv)
+		if nw != old {
+			st.vals[obj] = nw
+			changed = true
+		}
+	}
+	// set is the strong-update form used for plain assignments to bare
+	// identifiers: the old value is replaced, not unioned, so
+	// `s = sortedCopy(s)` genuinely cleans s. Because state persists
+	// across walk passes, a loop's back-edge still carries the value
+	// from the bottom of the previous pass.
+	set := func(obj types.Object, tv taintVal) {
+		if obj == nil {
+			return
+		}
+		old, had := st.vals[obj]
+		if tv.kinds == 0 {
+			if had {
+				delete(st.vals, obj)
+				changed = true
+			}
+			return
+		}
+		if tv != old {
+			st.vals[obj] = tv
+			changed = true
+		}
+	}
+	ast.Inspect(st.n.body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false // a separate call-graph node
+		case *ast.RangeStmt:
+			st.rangeSources(x, assign)
+		case *ast.AssignStmt:
+			st.assignStmt(x, assign, set, emit)
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				tv := st.exprTaint(r)
+				st.summary.results |= tv.kinds
+				st.noteOrigin(tv)
+			}
+		case *ast.CallExpr:
+			st.callEffects(x, assign, emit)
+		}
+		return true
+	})
+	return changed
+}
+
+func (st *taintState) noteOrigin(tv taintVal) {
+	if tv.kinds&taintIntrinsic != 0 && (st.summary.originPos == 0 || tv.src < st.summary.originPos) {
+		st.summary.originPos, st.summary.originDesc = tv.src, tv.desc
+	}
+}
+
+// rangeSources marks the iteration variables of order-randomized
+// ranges as tainted.
+func (st *taintState) rangeSources(rs *ast.RangeStmt, assign func(types.Object, taintVal)) {
+	def := func(e ast.Expr) types.Object {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := st.n.pkg.Info.Defs[id]; obj != nil {
+				return obj
+			}
+			return st.objectOf(id) // `for k = range m` re-using a var
+		}
+		return nil
+	}
+	t := st.typeOf(rs.X)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		tv := st.sourceVal(rs.Pos(), "map iteration")
+		if rs.Key != nil {
+			assign(def(rs.Key), tv)
+		}
+		if rs.Value != nil {
+			assign(def(rs.Value), tv)
+		}
+	case *types.Chan:
+		tv := st.sourceVal(rs.Pos(), "channel receive")
+		if rs.Key != nil {
+			assign(def(rs.Key), tv)
+		}
+	default:
+		// Ordered iteration (slice, array, string, int): only the
+		// element inherits the container's own taint.
+		if rs.Value != nil {
+			if tv := st.exprTaint(rs.X); tv.kinds != 0 {
+				assign(def(rs.Value), tv)
+			}
+		}
+	}
+}
+
+func (st *taintState) assignStmt(as *ast.AssignStmt, assign, set func(types.Object, taintVal), emit bool) {
+	rhsVal := func(i int) taintVal {
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			return st.exprTaint(as.Rhs[0]) // tuple from one call
+		}
+		if i < len(as.Rhs) {
+			return st.exprTaint(as.Rhs[i])
+		}
+		return taintVal{}
+	}
+	for i, lhs := range as.Lhs {
+		root := rootIdent(lhs)
+		if root == nil || root.Name == "_" {
+			continue
+		}
+		obj := st.objectOf(root)
+		tv := rhsVal(i)
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			tv = tv.union(st.vals[obj]) // compound ops keep prior taint
+		}
+		idx := st.indexTaint(lhs)
+		_, bare := ast.Unparen(lhs).(*ast.Ident)
+		if bare && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+			set(obj, tv) // strong update: rebinding a local replaces its taint
+		} else {
+			assign(obj, tv.union(idx))
+		}
+		if sinkVal := tv.union(idx); sinkVal.kinds != 0 && st.committedStore(lhs, obj) {
+			st.summary.commits |= sinkVal.kinds
+			st.noteOrigin(sinkVal)
+			if emit && sinkVal.kinds&taintIntrinsic != 0 {
+				st.pass.reportf(lhs.Pos(),
+					"order-tainted value (%s at %s) committed to %s; the result now depends on a randomized order — sort or tie-break deterministically before committing, or annotate //schedlint:allow ordertaint <reason>",
+					sinkVal.desc, st.shortPos(sinkVal.src), types.ExprString(lhs))
+			}
+		}
+	}
+}
+
+// indexTaint collects taint flowing through positional (slice/array)
+// index expressions of an assignable chain. Map indices are excluded:
+// a map written under tainted keys holds the same entries in any
+// order, while a slice written at a tainted position does not.
+func (st *taintState) indexTaint(e ast.Expr) taintVal {
+	var tv taintVal
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if !isMapType(st.typeOf(x.X)) {
+				tv = tv.union(st.exprTaint(x.Index))
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return tv
+		}
+	}
+}
+
+// committedStore reports whether the assignment target is committed
+// state: a field, element, or pointee reached through a parameter, the
+// receiver, or a package-level variable — memory the caller observes
+// after the function returns.
+func (st *taintState) committedStore(lhs ast.Expr, root types.Object) bool {
+	if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+		return false // rebinding a local name commits nothing
+	}
+	if root == nil {
+		return false
+	}
+	if st.params[root] {
+		return true
+	}
+	v, ok := root.(*types.Var)
+	return ok && !v.IsField() && v.Parent() == st.n.pkg.Types.Scope()
+}
+
+// callEffects applies sanitizers, interprocedural commit sinks, and
+// encoded-output sinks of one call expression.
+func (st *taintState) callEffects(call *ast.CallExpr, assign func(types.Object, taintVal), emit bool) {
+	name, fn := st.calleeName(call)
+	if sortSanitizers[name] && len(call.Args) > 0 {
+		if root := rootIdent(call.Args[0]); root != nil {
+			if obj := st.objectOf(root); obj != nil {
+				if old, ok := st.vals[obj]; ok && old.kinds != 0 {
+					delete(st.vals, obj)
+				}
+			}
+		}
+		return
+	}
+	// copy(dst, src): dst inherits src's taint.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+		if _, isB := st.objectOf(id).(*types.Builtin); isB {
+			if root := rootIdent(call.Args[0]); root != nil {
+				assign(st.objectOf(root), st.exprTaint(call.Args[1]))
+			}
+			return
+		}
+	}
+	if !emit {
+		return
+	}
+	// Interprocedural commit: a module function that stores its
+	// arguments into shared state, handed an order-tainted argument.
+	if fn != nil {
+		if callee, ok := st.eng.cg.byFunc[fn]; ok {
+			if s := st.eng.summaries[callee]; s != nil && s.commits&taintParam != 0 {
+				for _, arg := range call.Args {
+					if tv := st.exprTaint(arg); tv.kinds&taintIntrinsic != 0 {
+						st.pass.reportf(arg.Pos(),
+							"order-tainted value (%s at %s) passed to %s, which stores it into shared state; establish a deterministic order first, or annotate //schedlint:allow ordertaint <reason>",
+							tv.desc, st.shortPos(tv.src), callee.name())
+						break
+					}
+				}
+			}
+		}
+	}
+	// Encoded output: order taint written to a stream is observable
+	// nondeterminism even without a store.
+	if isEncodedOutput(name) {
+		for _, arg := range call.Args {
+			if tv := st.exprTaint(arg); tv.kinds&taintIntrinsic != 0 {
+				st.pass.reportf(arg.Pos(),
+					"order-tainted value (%s at %s) reaches encoded output via %s; emit in a sorted order instead",
+					tv.desc, st.shortPos(tv.src), name)
+				break
+			}
+		}
+	}
+}
+
+// isEncodedOutput recognizes writer-style emit calls whose byte output
+// the determinism contract covers.
+func isEncodedOutput(name string) bool {
+	switch name {
+	case "fmt.Fprintf", "fmt.Fprintln", "fmt.Fprint", "Encoder.Encode", "Writer.Write":
+		return true
+	}
+	return false
+}
+
+// exprTaint computes the taint of an expression from current state.
+func (st *taintState) exprTaint(e ast.Expr) taintVal {
+	switch x := e.(type) {
+	case *ast.BasicLit, *ast.FuncLit:
+		return taintVal{}
+	case *ast.Ident:
+		return st.vals[st.objectOf(x)]
+	case *ast.ParenExpr:
+		return st.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return st.sourceVal(x.Pos(), "channel receive")
+		}
+		return st.exprTaint(x.X)
+	case *ast.StarExpr:
+		return st.exprTaint(x.X)
+	case *ast.BinaryExpr:
+		return st.exprTaint(x.X).union(st.exprTaint(x.Y))
+	case *ast.IndexExpr:
+		return st.exprTaint(x.X).union(st.exprTaint(x.Index))
+	case *ast.SliceExpr:
+		return st.exprTaint(x.X)
+	case *ast.SelectorExpr:
+		if x.X != nil {
+			if _, isPkg := st.pkgQualifier(x); isPkg {
+				return taintVal{} // pkg.Var / pkg.Const
+			}
+			return st.exprTaint(x.X)
+		}
+		return taintVal{}
+	case *ast.TypeAssertExpr:
+		return st.exprTaint(x.X)
+	case *ast.CompositeLit:
+		var tv taintVal
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				tv = tv.union(st.exprTaint(kv.Key)).union(st.exprTaint(kv.Value))
+			} else {
+				tv = tv.union(st.exprTaint(el))
+			}
+		}
+		return tv
+	case *ast.CallExpr:
+		return st.callTaint(x)
+	}
+	return taintVal{}
+}
+
+// callTaint computes the taint of a call's result.
+func (st *taintState) callTaint(call *ast.CallExpr) taintVal {
+	argTaint := func() taintVal {
+		var tv taintVal
+		for _, a := range call.Args {
+			tv = tv.union(st.exprTaint(a))
+		}
+		return tv
+	}
+	name, fn := st.calleeName(call)
+	// Builtins with order-independent results.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := st.objectOf(id).(*types.Builtin); isB {
+			switch id.Name {
+			case "len", "cap", "make", "new", "delete", "clear":
+				return taintVal{}
+			default: // append, min, max, …
+				return argTaint()
+			}
+		}
+	}
+	if sortSanitizers[name] {
+		return taintVal{}
+	}
+	if fn != nil && fn.Pkg() != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if sig != nil && sig.Recv() == nil && !globalRandAllowed[fn.Name()] {
+				return st.sourceVal(call.Pos(), "unseeded "+name)
+			}
+		}
+		if callee, ok := st.eng.cg.byFunc[fn]; ok {
+			// Module-local call: use the summary.
+			var tv taintVal
+			s := st.eng.summaries[callee]
+			if s == nil {
+				s = &taintSummary{}
+			}
+			if s.results&taintIntrinsic != 0 {
+				src := s.originPos
+				desc := s.originDesc
+				if desc == "" {
+					desc = "order-dependent result"
+				}
+				tv = tv.union(taintVal{kinds: taintIntrinsic, src: src,
+					desc: desc + " via " + callee.name()})
+			}
+			if s.results&taintParam != 0 {
+				at := argTaint()
+				if recv := receiverExpr(call); recv != nil {
+					at = at.union(st.exprTaint(recv))
+				}
+				tv = tv.union(at)
+			}
+			return tv
+		}
+	}
+	// Conversion or unknown/external call: propagate operand taint
+	// (seeded *rand.Rand methods come out clean because the receiver
+	// is clean; string/format helpers stay tainted when fed taint).
+	at := argTaint()
+	if recv := receiverExpr(call); recv != nil {
+		at = at.union(st.exprTaint(recv))
+	}
+	return at
+}
+
+// receiverExpr returns the receiver expression of a method call.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// calleeName resolves a call's static callee: a qualified display name
+// ("sort.Slice", "Encoder.Encode") and the *types.Func when known.
+func (st *taintState) calleeName(call *ast.CallExpr) (string, *types.Func) {
+	switch fe := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := st.objectOf(fe).(*types.Func); ok {
+			return fn.Name(), fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := st.n.pkg.Info.Selections[fe]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return shortTypeName(sel.Recv()) + "." + fn.Name(), fn
+			}
+			return "", nil
+		}
+		if fn, ok := st.n.pkg.Info.Uses[fe.Sel].(*types.Func); ok {
+			if fn.Pkg() != nil {
+				return filepath.Base(fn.Pkg().Path()) + "." + fn.Name(), fn
+			}
+			return fn.Name(), fn
+		}
+	}
+	return "", nil
+}
+
+// pkgQualifier reports whether a selector is `pkg.Name`.
+func (st *taintState) pkgQualifier(sel *ast.SelectorExpr) (*types.PkgName, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := st.n.pkg.Info.Uses[id].(*types.PkgName)
+	return pn, ok
+}
+
+func (st *taintState) typeOf(e ast.Expr) types.Type {
+	if tv, ok := st.n.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (st *taintState) objectOf(id *ast.Ident) types.Object {
+	if o := st.n.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return st.n.pkg.Info.Defs[id]
+}
+
+// shortPos renders a witness position as basename:line — stable across
+// checkouts, precise enough to find the source.
+func (st *taintState) shortPos(pos token.Pos) string {
+	p := st.n.pkg.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}

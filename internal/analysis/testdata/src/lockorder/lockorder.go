@@ -1,0 +1,143 @@
+// Package lockorder is a schedlint golden-test fixture: each function
+// participates in a lock-acquisition cycle the check must flag, or in
+// one of the clean orderings it must stay silent on. Line numbers are
+// pinned by expect.txt.
+package lockorder
+
+import "sync"
+
+// server carries two locks with no global acquisition order.
+type server struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// abPath locks a then b; together with baPath this is the classic ABBA
+// cycle. One finding at the inner acquisition.
+func (s *server) abPath() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+// baPath locks b then a — the reverse order. One finding.
+func (s *server) baPath() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// goodSequential releases a before taking b: nothing is held at the
+// second acquisition — no edge, no finding.
+func (s *server) goodSequential() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+// pool and stats form a cycle through a call: drain holds pool.mu and
+// calls bump, which acquires stats.mu; flush holds stats.mu and
+// acquires pool.mu directly.
+type pool struct {
+	mu sync.Mutex
+	st *stats
+}
+
+type stats struct {
+	mu sync.Mutex
+}
+
+// drain inherits bump's acquisition while holding pool.mu. One finding
+// at the call site.
+func (p *pool) drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.bump()
+}
+
+func (s *stats) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// flush closes the cycle in the reverse direction. One finding.
+func (s *stats) flush(p *pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// registry reproduces the Metrics.Merge hazard: both instances' locks
+// held in argument order.
+type registry struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// badMerge self-edges registry.mu: concurrent a.badMerge(b) and
+// b.badMerge(a) deadlock. One finding.
+func (r *registry) badMerge(o *registry) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range o.vals {
+		r.vals[k] = v
+	}
+}
+
+// goodMerge snapshots under o's lock, releases it, then folds under
+// r's lock: the two instances are never held together — no finding.
+func (r *registry) goodMerge(o *registry) {
+	o.mu.Lock()
+	snap := make(map[string]int, len(o.vals))
+	for k, v := range o.vals {
+		snap[k] = v
+	}
+	o.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range snap {
+		r.vals[k] = v
+	}
+}
+
+// queue always takes head before tail: a one-way edge is not a cycle —
+// no finding.
+type queue struct {
+	head sync.Mutex
+	tail sync.Mutex
+}
+
+func (q *queue) push() {
+	q.head.Lock()
+	defer q.head.Unlock()
+	q.tail.Lock()
+	defer q.tail.Unlock()
+}
+
+func (q *queue) pop() {
+	q.head.Lock()
+	defer q.head.Unlock()
+	q.tail.Lock()
+	q.tail.Unlock()
+}
+
+// cache documents an intentional nested same-class acquisition: the
+// allow sits on the inner Lock, next to the ordering argument — no
+// finding.
+type cache struct {
+	mu sync.Mutex
+}
+
+func (c *cache) adopt(o *cache) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	//schedlint:allow lockorder fixture: callers order instances by id before nesting
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}

@@ -1,0 +1,122 @@
+// Package ordertaint is a schedlint golden-test fixture: each function
+// is either a true positive for the interprocedural order-taint check
+// or one of its documented sound exemptions. Line numbers are pinned
+// by expect.txt.
+package ordertaint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// placer mimics the bisection state: part is a slice indexed by vertex
+// id, so a store at an order-tainted index is committed schedule state.
+type placer struct {
+	part []int
+}
+
+// firstKey returns some key of m — which one depends on randomized map
+// iteration order. detrange stays silent here (nothing is written to
+// outer state); only the taint summary records the order-dependent
+// result.
+func firstKey(m map[int]float64) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}
+
+// badCrossFunction commits the helper's order-dependent pick into the
+// partition — the cross-function growInitial bug. One finding.
+func (p *placer) badCrossFunction(gain map[int]float64) {
+	v := firstKey(gain)
+	if v >= 0 {
+		p.part[v] = 1
+	}
+}
+
+// badChannelOrder commits whichever worker finished first: receive
+// completion order is scheduler-controlled. One finding.
+func badChannelOrder(p *placer, done chan int) {
+	v := <-done
+	p.part[v] = 1
+}
+
+// badSelectOrder commits the winner of a select race. One finding per
+// arm's store.
+func badSelectOrder(p *placer, a, b chan int) {
+	select {
+	case v := <-a:
+		p.part[v] = 1
+	case v := <-b:
+		p.part[v] = 2
+	}
+}
+
+// badGlobalRand indexes committed state with the process-global RNG.
+// One finding.
+func badGlobalRand(p *placer) {
+	p.part[rand.Intn(len(p.part))] = 1
+}
+
+// registry stores whatever it is handed into shared state; its taint
+// summary marks it as committing its arguments.
+type registry struct {
+	order []int
+}
+
+func (g *registry) record(v int) {
+	g.order = append(g.order, v)
+}
+
+// badForward hands an order-tainted key to record, which commits it —
+// the interprocedural commit sink. One finding.
+func badForward(g *registry, m map[int]bool) {
+	for k := range m {
+		g.record(k)
+	}
+}
+
+// badEmit writes map-ordered pairs to a stream: encoded output is
+// observable nondeterminism even without a store. One finding.
+func badEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}
+
+// goodSortedKeys drains the map in sorted order: the sanitizer clears
+// the taint before anything is committed — exempt.
+func (p *placer) goodSortedKeys(gain map[int]float64) {
+	var keys []int
+	for k := range gain {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		p.part[k] = 1
+	}
+}
+
+// goodSeededRand draws from an explicitly seeded generator threaded in
+// as a parameter: deterministic for a fixed seed — exempt.
+func (p *placer) goodSeededRand(r *rand.Rand) {
+	p.part[r.Intn(len(p.part))] = 1
+}
+
+// suppressedPick carries the allow at the source; every sink derived
+// from it inherits the justification — no finding.
+func (p *placer) suppressedPick(gain map[int]float64) {
+	best := -1
+	//schedlint:allow detrange,ordertaint fixture: argmin with total-order tie-break is iteration-order independent
+	for k := range gain {
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	if best >= 0 {
+		p.part[best] = 1
+	}
+}

@@ -1,0 +1,38 @@
+// Package stricthygiene is a schedlint golden-test fixture for the
+// -strict suppression audit: a used block-comment allow (no hygiene
+// finding), a stale allow, and a typo'd check name. Line numbers are
+// pinned by the assertions in analysis_test.go.
+package stricthygiene
+
+// goodSuppressed carries a block-comment allow that suppresses a real
+// detrange finding; -strict must count it as used and say nothing.
+func goodSuppressed(m map[int]int) []int {
+	var out []int
+	/* schedlint:allow detrange fixture: order genuinely irrelevant */
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// staleAllow excuses a loop that violates nothing — one allowstale
+// finding.
+func staleAllow(xs []int) []int {
+	var out []int
+	//schedlint:allow detrange nothing left to excuse: slice iteration is ordered
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// typoAllow misspells the check name, so it suppresses nothing — one
+// allowunknown finding plus the detrange finding it failed to cover.
+func typoAllow(m map[int]int) []int {
+	var out []int
+	//schedlint:allow detrage a silent typo until -strict pointed at it
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

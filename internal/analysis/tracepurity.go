@@ -37,6 +37,13 @@ func runTracePurity(p *pass) {
 			return true
 		})
 	}
+	// The same boundary, enforced transitively: a helper that wraps
+	// time.Now is as much a clock site as the read itself, and the
+	// call graph pins it to every caller. Reads justified with an
+	// allow annotation do not propagate — the annotation's reasoning
+	// covers the wrapper's callers too.
+	reportTransitiveReads(p, "tracepurity", false,
+		"call to %s reaches %s at %s, a wall-clock read outside internal/obs; route timing through the tracer or annotate the read with //schedlint:allow tracepurity")
 }
 
 // isObsPackage reports whether path is the observability package (or

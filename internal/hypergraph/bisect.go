@@ -162,7 +162,7 @@ func (b *bisection) growInitial(rng *rand.Rand) {
 		// is randomized, and gain ties are common (equal-weight nets),
 		// so an order-dependent pick would make the whole partition
 		// nondeterministic.
-		//schedlint:allow detrange argmax with total-order tie-break (u < pick) is iteration-order independent
+		//schedlint:allow detrange,ordertaint argmax with total-order tie-break (u < pick) is iteration-order independent
 		for u, g := range frontier {
 			if g > bestG || (g == bestG && (pick < 0 || u < pick)) {
 				pick, bestG = u, g

@@ -104,21 +104,44 @@ func bucketOf(v float64) int {
 // are commutative; gauge merges are last-write-wins, which is
 // deterministic when the caller merges in a fixed order (the
 // experiment harness merges per-cell registries in index order).
+//
+// o is snapshotted under its own lock before m's lock is taken, so the
+// two Metrics.mu instances are never held together: concurrent
+// a.Merge(b) and b.Merge(a) cannot deadlock on acquisition order
+// (schedlint's lockorder check rejects the held-both form).
 func (m *Metrics) Merge(o *Metrics) {
 	if m == nil || o == nil {
 		return
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
+	counts := make(map[string]int64, len(o.counts))
+	for k, v := range o.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]float64, len(o.gauges))
+	for k, v := range o.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*hist, len(o.hists))
+	for k, oh := range o.hists {
+		c := &hist{count: oh.count, sum: oh.sum, min: oh.min, max: oh.max,
+			buckets: make(map[int]int64, len(oh.buckets))}
+		for b, n := range oh.buckets {
+			c.buckets[b] = n
+		}
+		hists[k] = c
+	}
+	o.mu.Unlock()
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for k, v := range o.counts {
+	for k, v := range counts {
 		m.counts[k] += v
 	}
-	for k, v := range o.gauges {
+	for k, v := range gauges {
 		m.gauges[k] = v
 	}
-	for k, oh := range o.hists {
+	for k, oh := range hists {
 		h := m.hists[k]
 		if h == nil {
 			h = &hist{min: math.Inf(1), max: math.Inf(-1), buckets: map[int]int64{}}

@@ -38,7 +38,6 @@ type Trace struct {
 
 // New returns a Trace recording both clock domains.
 func New() *Trace {
-	//schedlint:allow nowallclock,tracepurity the tracer is the designated wall-clock boundary; real-time spans are measured here and nowhere else
 	return &Trace{start: time.Now(), names: map[Domain]map[int]string{}, nextID: 1 << 20}
 }
 
@@ -56,7 +55,6 @@ func (t *Trace) Enabled() bool { return true }
 
 // nowUS returns microseconds since the trace anchor.
 func (t *Trace) nowUS() float64 {
-	//schedlint:allow nowallclock,tracepurity the tracer is the designated wall-clock boundary; real-time spans are measured here and nowhere else
 	return float64(time.Since(t.start)) / float64(time.Microsecond)
 }
 

@@ -14,7 +14,7 @@ func (s *solver) iterate() Status {
 		if s.iters >= s.opt.MaxIters {
 			return IterLimit
 		}
-		//schedlint:allow tracepurity deadline abort only; callers treat a budget hit as IterLimit, and the MIP layer keeps its incumbent deterministic
+		//schedlint:allow nowallclock,tracepurity deadline abort only; callers treat a budget hit as IterLimit, and the MIP layer keeps its incumbent deterministic — the justification covers transitive callers too
 		if !s.opt.Deadline.IsZero() && s.iters%32 == 0 && time.Now().After(s.opt.Deadline) {
 			return IterLimit
 		}
