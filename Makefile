@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all help build vet lint test race fuzz-short chaos verify bench bench-all bench-parallel profile figures clean
+.PHONY: all help build vet lint test race fuzz-short chaos explain-check verify bench bench-all bench-parallel profile figures clean
 
 all: verify
 
 help:
 	@echo "Targets:"
-	@echo "  make verify        - full tier-1 gate: build, vet, lint, test, race, fuzz-short"
+	@echo "  make verify        - full tier-1 gate: build, vet, lint, test, race, fuzz-short, explain-check"
 	@echo "  make build         - compile every package"
 	@echo "  make vet           - go vet"
 	@echo "  make lint          - run schedlint -strict (7 checks + suppression-hygiene audit)"
@@ -14,6 +14,7 @@ help:
 	@echo "  make race          - unit tests under the race detector"
 	@echo "  make fuzz-short    - one short iteration of each fuzz target"
 	@echo "  make chaos         - fault-injection suite under -race + the chaos matrix"
+	@echo "  make explain-check - journal byte-determinism (workers 1 vs 8) + schedexplain smoke"
 	@echo "  make bench         - per-scheduler benches -> BENCH_schedulers.json"
 	@echo "  make bench-all     - all benchmarks, one iteration"
 	@echo "  make bench-parallel- workers=1 vs workers=N scaling benches"
@@ -60,7 +61,19 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Crash|Degrade|Preempt' ./internal/core/ ./internal/faults/ ./internal/gantt/ ./internal/experiments/ -v
 	$(GO) run ./cmd/paperfigs -fig chaos -quick
 
-verify: build vet lint test race fuzz-short
+# Decision-journal determinism from the CLI down: the same seeded
+# figure at -workers 1 and -workers 8 must write byte-identical
+# provenance journals, and schedexplain must answer over the result
+# (summary + critical path). CI's `journal` job runs this and archives
+# the journal as an artifact.
+explain-check:
+	$(GO) run ./cmd/paperfigs -fig 3 -quick -skip-ip -workers 1 -journal journal_w1.jsonl > /dev/null
+	$(GO) run ./cmd/paperfigs -fig 3 -quick -skip-ip -workers 8 -journal journal_w8.jsonl > /dev/null
+	cmp journal_w1.jsonl journal_w8.jsonl
+	$(GO) run ./cmd/schedexplain -journal journal_w1.jsonl
+	$(GO) run ./cmd/schedexplain -journal journal_w1.jsonl -critical > /dev/null
+
+verify: build vet lint test race fuzz-short explain-check
 
 # One timed pipeline run per scheduling scheme, parsed into
 # BENCH_schedulers.json (per-scheme ns/op, allocs/op, simulated

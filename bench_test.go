@@ -61,11 +61,12 @@ func BenchmarkFig5b(b *testing.B) { benchFigure(b, experiments.Fig5b) }
 // batch time and per-task scheduling overhead).
 func BenchmarkFig6(b *testing.B) { benchFigure(b, experiments.Fig6) }
 
-// BenchmarkSchedulers times one full pipeline run per scheme on the
-// same small IMAGE workload, reporting allocations and the simulated
-// makespan alongside ns/op. `make bench` parses this output into
+// BenchmarkSchedulers times one full pipeline run per scheme per
+// task-count decade on the same IMAGE workload family, reporting
+// wall-clock (ns/op), allocations (allocs/op, B/op) and the simulated
+// makespan. `make bench` parses this output into
 // BENCH_schedulers.json (see cmd/benchjson), giving CI a comparable
-// per-scheme performance trajectory across commits.
+// per-scheme scaling trajectory across commits.
 func BenchmarkSchedulers(b *testing.B) {
 	for _, scheme := range []struct {
 		name string
@@ -81,11 +82,13 @@ func BenchmarkSchedulers(b *testing.B) {
 		{"MinMin", func() core.Scheduler { return minmin.New() }},
 		{"JobDataPresent", func() core.Scheduler { return jdp.New() }},
 	} {
-		b.Run(scheme.name, func(b *testing.B) {
-			p := ablationProblem(b, 24, 0)
-			b.ReportAllocs()
-			runScheduler(b, p, scheme.mk(), "makespan_s")
-		})
+		for _, tasks := range []int{10, 100} {
+			b.Run(fmt.Sprintf("%s/tasks=%d", scheme.name, tasks), func(b *testing.B) {
+				p := ablationProblem(b, tasks, 0)
+				b.ReportAllocs()
+				runScheduler(b, p, scheme.mk(), "makespan_s")
+			})
+		}
 	}
 }
 

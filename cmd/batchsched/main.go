@@ -10,6 +10,7 @@
 //	           [-no-replication] [-ip-budget 20s] [-seed 1] [-v]
 //	           [-workers N] [-faults SCENARIO]
 //	           [-obs-trace out.json] [-obs-metrics out.json] [-obs-gantt]
+//	           [-journal out.jsonl] [-listen :8080 [-serve-for 10m]]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -faults injects a deterministic failure scenario into the simulated
@@ -32,6 +33,15 @@
 // as Chrome trace-event JSON (open in Perfetto: ui.perfetto.dev);
 // -obs-metrics snapshots the run's counters/histograms as JSON;
 // -obs-gantt prints an ASCII Gantt of the simulated schedule.
+// -journal records every pipeline decision (placement rationale,
+// staging source choices, evictions, faults) as a JSONL provenance
+// journal for schedexplain; for a fixed seed its bytes are identical
+// at any -workers count.
+// -listen starts the live introspection server (internal/obs/
+// introspect): /metrics in Prometheus text format, /events streaming
+// the journal as server-sent events, /journal, /gantt, and the pprof
+// mux. After the run the process keeps serving until interrupted, or
+// for -serve-for if set.
 // -cpuprofile/-memprofile/-trace write the standard Go profiles.
 // Observation is write-only: the schedule is identical with or
 // without these flags.
@@ -41,7 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -49,6 +61,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/introspect"
+	"repro/internal/obs/journal"
 	"repro/internal/platform"
 	"repro/internal/sched/bipart"
 	"repro/internal/sched/ipsched"
@@ -75,6 +89,9 @@ func main() {
 	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of the run (view in Perfetto)")
 	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the run's metrics")
 	obsGantt := flag.Bool("obs-gantt", false, "print an ASCII Gantt of the simulated schedule")
+	journalPath := flag.String("journal", "", "write a decision-provenance journal (JSONL) for schedexplain")
+	listen := flag.String("listen", "", "serve live introspection (/metrics, /events, /gantt, pprof) on this address, e.g. :8080")
+	serveFor := flag.Duration("serve-for", 0, "with -listen: keep serving this long after the run finishes (0 = until interrupted)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	runtimeTrace := flag.String("trace", "", "write a Go runtime trace to this file")
@@ -93,6 +110,26 @@ func main() {
 	}
 	if *obsMetrics != "" {
 		ob.Metrics = obs.NewMetrics()
+	}
+	if *journalPath != "" || *listen != "" {
+		ob.Journal = journal.New()
+	}
+	if *listen != "" {
+		// The live plane wants every sink populated, flags or not.
+		if tracer == nil {
+			tracer = obs.New()
+			ob.Trace = tracer
+		}
+		if ob.Metrics == nil {
+			ob.Metrics = obs.NewMetrics()
+		}
+		srv := introspect.New(introspect.Options{Metrics: ob.Metrics, Journal: ob.Journal, Trace: tracer})
+		go func() {
+			err := srv.ListenAndServe(*listen, func(addr net.Addr) {
+				fmt.Fprintf(os.Stderr, "introspection: serving http://%s/ (/metrics, /events, /journal, /gantt, /debug/pprof/)\n", addr)
+			})
+			fatal("introspect: %v", err)
+		}()
 	}
 
 	var overlap workload.Overlap
@@ -209,8 +246,24 @@ func main() {
 			fatal("obs-metrics: %v", err)
 		}
 	}
+	if *journalPath != "" {
+		if err := writeFile(*journalPath, ob.Journal.WriteJSONL); err != nil {
+			fatal("journal: %v", err)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fatal("profile: %v", err)
+	}
+	if *listen != "" {
+		if *serveFor > 0 {
+			fmt.Fprintf(os.Stderr, "introspection: serving for another %v\n", *serveFor)
+			time.Sleep(*serveFor)
+		} else {
+			fmt.Fprintln(os.Stderr, "introspection: run finished; serving until interrupted (Ctrl-C)")
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			<-sig
+		}
 	}
 }
 

@@ -39,7 +39,7 @@ func TestParseSkipsNonBenchLines(t *testing.T) {
 func TestParseEchoes(t *testing.T) {
 	in := "goos: linux\nBenchmarkX-4 2 50 ns/op\nPASS\n"
 	var out strings.Builder
-	entries, err := parse(strings.NewReader(in), &out)
+	entries, env, err := parse(strings.NewReader(in), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,5 +48,30 @@ func TestParseEchoes(t *testing.T) {
 	}
 	if len(entries) != 1 || entries[0].Name != "BenchmarkX-4" || entries[0].Metrics["ns/op"] != 50 {
 		t.Fatalf("entries = %+v", entries)
+	}
+	if env["goos"] != "linux" {
+		t.Fatalf("env = %v, want goos captured", env)
+	}
+}
+
+// TestNameParams: key=value sub-benchmark segments and the GOMAXPROCS
+// suffix become queryable params; plain names carry none.
+func TestNameParams(t *testing.T) {
+	e, ok := parseLine("BenchmarkSchedulers/IP/tasks=100-8   1   123 ns/op   17 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if e.Params["tasks"] != "100" || e.Params["gomaxprocs"] != "8" {
+		t.Fatalf("params = %v", e.Params)
+	}
+	if e.Metrics["allocs/op"] != 17 {
+		t.Fatalf("metrics = %v", e.Metrics)
+	}
+
+	if p := nameParams("BenchmarkWorkloadGeneration"); p != nil {
+		t.Fatalf("plain name params = %v, want nil", p)
+	}
+	if p := nameParams("BenchmarkMIPSolve/workers=2-16"); p["workers"] != "2" || p["gomaxprocs"] != "16" {
+		t.Fatalf("params = %v", p)
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/report"
 )
 
@@ -56,6 +57,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "failure scenario for figure cells: none, mild, harsh, or key=value pairs")
 	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of all cells (view in Perfetto)")
 	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the merged metric registry")
+	journalPath := flag.String("journal", "", "write the merged decision-provenance journal (JSONL) for schedexplain")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	runtimeTrace := flag.String("trace", "", "write a Go runtime trace to this file")
@@ -75,6 +77,9 @@ func main() {
 	}
 	if *obsMetrics != "" {
 		ob.Metrics = obs.NewMetrics()
+	}
+	if *journalPath != "" {
+		ob.Journal = journal.New()
 	}
 
 	fp, err := faults.Parse(*faultSpec)
@@ -127,6 +132,12 @@ func main() {
 	if *obsMetrics != "" {
 		if err := writeObs(*obsMetrics, ob.Metrics.Snapshot().WriteJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "obs-metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *journalPath != "" {
+		if err := writeObs(*journalPath, ob.Journal.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "journal: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,140 @@
+// Command schedexplain answers provenance queries over a decision
+// journal recorded with batchsched -journal (or paperfigs -journal):
+// why a task ran on its node, why a file was replicated to or evicted
+// from a node, and which dependency chain bound the makespan.
+//
+// Usage:
+//
+//	schedexplain -journal run.jsonl                 # summary
+//	schedexplain -journal run.jsonl -task 7         # why did task 7 run where it did?
+//	schedexplain -journal run.jsonl -file 3         # every decision touching file 3
+//	schedexplain -journal run.jsonl -file 3 -node 1 # ... restricted to node 1
+//	schedexplain -journal run.jsonl -critical       # what bound the makespan?
+//	schedexplain -journal run.jsonl -task 7 -json   # machine-readable output
+//
+// -journal - reads the journal from stdin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs/explain"
+	"repro/internal/obs/journal"
+)
+
+func main() {
+	journalPath := flag.String("journal", "", "journal file written by batchsched -journal (- for stdin)")
+	task := flag.Int("task", -1, "explain this task's placement, staging, execution and faults")
+	file := flag.Int("file", -1, "explain every replication/staging/eviction decision for this file")
+	node := flag.Int("node", -1, "restrict -file to this destination node")
+	critical := flag.Bool("critical", false, "print the dependency chain that bound the makespan")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	flag.Parse()
+
+	if *journalPath == "" {
+		fatal("schedexplain: -journal is required (see -h)")
+	}
+	var in io.Reader = os.Stdin
+	if *journalPath != "-" {
+		f, err := os.Open(*journalPath)
+		if err != nil {
+			fatal("schedexplain: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	j, err := explain.Load(in)
+	if err != nil {
+		fatal("schedexplain: %v", err)
+	}
+
+	switch {
+	case *task >= 0:
+		p := j.Placement(*task)
+		if p == nil {
+			fatal("schedexplain: the journal never mentions task %d", *task)
+		}
+		emit(*asJSON, p, p.Text)
+	case *file >= 0:
+		h := j.FileHistory(*file, *node)
+		if h == nil {
+			where := ""
+			if *node >= 0 {
+				where = fmt.Sprintf(" on node %d", *node)
+			}
+			fatal("schedexplain: the journal never mentions file %d%s", *file, where)
+		}
+		emit(*asJSON, h, h.Text)
+	case *critical:
+		cp := j.CriticalPath()
+		if cp == nil {
+			fatal("schedexplain: the journal records no executions")
+		}
+		emit(*asJSON, cp, cp.Text)
+	default:
+		summary(j, *asJSON)
+	}
+}
+
+// summary prints what the journal covers, so users know which -task
+// and -file queries will answer.
+func summary(j *explain.Journal, asJSON bool) {
+	kinds := map[string]int{}
+	var makespan float64
+	sched := ""
+	for _, ev := range j.Events {
+		kinds[ev.Kind]++
+		if ev.Kind == journal.KindRunEnd && ev.Run != nil {
+			makespan = ev.Run.Makespan
+			sched = ev.Run.Sched
+		}
+	}
+	if asJSON {
+		out := struct {
+			Events   int            `json:"events"`
+			Kinds    map[string]int `json:"kinds"`
+			Sched    string         `json:"sched,omitempty"`
+			Makespan float64        `json:"makespan,omitempty"`
+			Tasks    []int          `json:"tasks"`
+			Files    []int          `json:"files"`
+		}{len(j.Events), kinds, sched, makespan, j.Tasks(), j.Files()}
+		emit(true, out, nil)
+		return
+	}
+	fmt.Printf("%d events", len(j.Events))
+	if sched != "" {
+		fmt.Printf(", scheduler %s, makespan %.3f", sched, makespan)
+	}
+	fmt.Println()
+	for _, k := range []string{journal.KindRunStart, journal.KindCell, journal.KindPlan,
+		journal.KindPlace, journal.KindReplicate, journal.KindStage, journal.KindExec,
+		journal.KindEvict, journal.KindFault, journal.KindRunEnd} {
+		if n := kinds[k]; n > 0 {
+			fmt.Printf("  %-10s %d\n", k, n)
+		}
+	}
+	fmt.Printf("tasks: %d (query with -task), files: %d (query with -file)\n",
+		len(j.Tasks()), len(j.Files()))
+}
+
+// emit prints v as JSON or via its text renderer.
+func emit(asJSON bool, v interface{}, text func() string) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fatal("schedexplain: %v", err)
+		}
+		return
+	}
+	fmt.Print(text())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

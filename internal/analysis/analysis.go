@@ -85,6 +85,7 @@ var DefaultDeterministicPaths = []string{
 	"repro/internal/eviction",
 	"repro/internal/core",
 	"repro/internal/faults",
+	"repro/internal/obs/journal",
 }
 
 // A check inspects one package through a pass and reports findings.

@@ -85,6 +85,13 @@ func skipDir(name string) bool {
 // external _test packages, in a deterministic order.
 func (l *Loader) LoadAll() ([]*Package, error) {
 	var dirs []string
+	// Dedupe with a set, not against the last entry: WalkDir yields a
+	// directory's files and subdirectories interleaved in lexical
+	// order, so a package directory with a subdirectory sorting into
+	// the middle of its files (internal/obs with internal/obs/journal)
+	// would be appended twice — and a twice-loaded package doubles its
+	// call-graph nodes, fabricating lockorder self-edges.
+	seen := map[string]bool{}
 	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -97,7 +104,8 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		if strings.HasSuffix(p, ".go") {
 			dir := filepath.Dir(p)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gantt"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // ExecStats reports what the runtime stage did for one sub-batch.
@@ -188,6 +189,12 @@ type executor struct {
 	// requeued collects tasks whose commit a fault aborted; they stay
 	// pending and the caller re-plans them in a later sub-batch.
 	requeued []batch.TaskID
+
+	// Journal context for committed transfers: the task whose inputs
+	// are being staged (-1 during pre-staging) and, under fault
+	// injection, the attempt number of the transfer being committed.
+	curTask    int
+	curAttempt int
 }
 
 func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int) (*executor, error) {
@@ -195,10 +202,9 @@ func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faul
 		return nil, fmt.Errorf("core: empty sub-batch plan")
 	}
 	p := st.P
-	e := &executor{st: st, plan: plan, tr: obs.OrNop(tr)}
+	e := &executor{st: st, plan: plan, tr: obs.OrNop(tr), round: round, curTask: -1}
 	if inj != nil {
 		e.inj = inj
-		e.round = round
 		e.crashRel = make([]float64, p.Platform.NumCompute())
 		e.crashSeen = make([]bool, p.Platform.NumCompute())
 		for n := range e.crashRel {
@@ -285,6 +291,10 @@ type schedEnv struct {
 	// scratch availability additions (tentative mode only).
 	scratch  map[stageKey]float64
 	visiting map[stageKey]bool
+	// alts holds the source alternatives bestSource evaluated for the
+	// transfer about to commit (journaled commit mode only); the
+	// commit consumes and clears it.
+	alts []journal.SourceAlt
 }
 
 func newSchedEnv(e *executor, commit bool) *schedEnv {
@@ -398,6 +408,10 @@ func (v *schedEnv) bestSource(f batch.FileID, dst int) (src int, start, tct floa
 	dur := float64(size) / pf.RemoteBW(home, dst)
 	start = v.multiSlot(0, dur, v.remoteResources(home, dst)...)
 	tct = start + dur
+	record := v.commit && v.e.st.J.Enabled()
+	if record {
+		v.alts = append(v.alts[:0], journal.SourceAlt{Src: -1, TCT: tct})
+	}
 	if v.e.st.P.DisableReplication {
 		return src, start, tct
 	}
@@ -411,7 +425,11 @@ func (v *schedEnv) bestSource(f batch.FileID, dst int) (src int, start, tct floa
 		}
 		rdur := float64(size) / pf.ReplicaBW(j, dst)
 		rstart := v.multiSlot(at, rdur, v.searcher(v.e.computeTL[j]), v.searcher(v.e.computeTL[dst]))
-		if rtct := rstart + rdur; rtct < tct-1e-12 {
+		rtct := rstart + rdur
+		if record {
+			v.alts = append(v.alts, journal.SourceAlt{Src: j, TCT: rtct})
+		}
+		if rtct < tct-1e-12 {
 			src, start, tct = j, rstart, rtct
 		}
 	}
@@ -459,6 +477,31 @@ func (v *schedEnv) remoteTransfer(f batch.FileID, dst int) (float64, error) {
 	return start + dur, nil
 }
 
+// emitStage journals one committed transfer, consuming the source
+// alternatives bestSource captured for it (if any). src is -1 for
+// remote stagings.
+func (v *schedEnv) emitStage(f batch.FileID, src, dst int, kind string, start, dur float64, size int64) {
+	e := v.e
+	j := e.st.J
+	if !j.Enabled() {
+		return
+	}
+	cause := "task"
+	if e.curTask < 0 {
+		cause = "prestage"
+	} else if e.curAttempt > 1 {
+		cause = "retry"
+	}
+	alts := v.alts
+	v.alts = nil
+	b := e.base()
+	j.Emit(journal.Event{T: b + start, Kind: journal.KindStage, Round: e.round, Stage: &journal.Stage{
+		File: int(f), Dest: dst, Src: src, Home: e.st.P.Batch.Files[f].Home, Kind: kind,
+		Start: b + start, End: b + start + dur, Bytes: size,
+		Cause: cause, Task: e.curTask, Attempt: e.curAttempt, Alternatives: alts,
+	}})
+}
+
 // commitRemote reserves and records a storage→compute staging whose
 // slot [start, start+dur) has already been found.
 func (v *schedEnv) commitRemote(f batch.FileID, home, dst int, start, dur float64) (float64, error) {
@@ -486,6 +529,7 @@ func (v *schedEnv) commitRemote(f batch.FileID, home, dst int, start, dur float6
 			v.e.tr.SimSpan(obs.TrackLink, "remote", name, b+start, b+start+dur, args...)
 		}
 	}
+	v.emitStage(f, -1, dst, "remote", start, dur, size)
 	v.setAvail(dst, f, start+dur)
 	return start + dur, nil
 }
@@ -529,6 +573,7 @@ func (v *schedEnv) commitReplica(f batch.FileID, src, dst int, start, dur float6
 		v.e.tr.SimSpan(obs.ComputeTrack(src), "replica", name, b+start, b+start+dur, args...)
 		v.e.tr.SimSpan(obs.ComputeTrack(dst), "replica", name, b+start, b+start+dur, args...)
 	}
+	v.emitStage(f, src, dst, "replica", start, dur, size)
 	v.setAvail(dst, f, start+dur)
 	return start + dur, nil
 }
@@ -588,6 +633,9 @@ func (v *schedEnv) faultyTransfer(f batch.FileID, src, dst int, srcAt float64) (
 		curSrc := src
 		var start, dur float64
 		if attempt > 1 {
+			// Alternatives captured for the first attempt's source choice
+			// no longer describe this retry's decision.
+			v.alts = nil
 			var ok bool
 			curSrc, start, dur, ok = v.survivingReplica(f, dst, after)
 			if !ok {
@@ -621,12 +669,14 @@ func (v *schedEnv) faultyTransfer(f batch.FileID, src, dst int, srcAt float64) (
 			}
 		}
 		if math.IsInf(failAt, 1) {
+			e.curAttempt = attempt
 			at, err := 0.0, error(nil)
 			if curSrc >= 0 {
 				at, err = v.commitReplica(f, curSrc, dst, start, dur)
 			} else {
 				at, err = v.commitRemote(f, home, dst, start, dur)
 			}
+			e.curAttempt = 0
 			if err != nil {
 				return 0, err
 			}
@@ -662,6 +712,24 @@ func (v *schedEnv) faultyTransfer(f batch.FileID, src, dst int, srcAt float64) (
 				b+start, b+failAt,
 				obs.A("file", int(f)), obs.A("attempt", attempt), obs.A("src", curSrc))
 		}
+		if j := e.st.J; j.Enabled() {
+			detail := "link failure mid-transfer"
+			switch crashedNode {
+			case dst:
+				detail = "destination node crashed mid-transfer"
+			case curSrc:
+				if crashedNode >= 0 {
+					detail = "source replica node crashed mid-transfer"
+				}
+			}
+			srcDesc := "storage home " + strconv.Itoa(home)
+			if curSrc >= 0 {
+				srcDesc = "replica on node " + strconv.Itoa(curSrc)
+			}
+			j.Emit(journal.Event{T: e.base() + failAt, Kind: journal.KindFault, Round: e.round,
+				Fault: &journal.Fault{Class: journal.FaultTransferFail, Node: dst, Task: e.curTask,
+					File: int(f), Attempt: attempt, Detail: detail + " (from " + srcDesc + ")"}})
+		}
 		if crashedNode >= 0 {
 			e.crashSeen[crashedNode] = true
 		}
@@ -686,6 +754,9 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 	v := newSchedEnv(e, commit)
 	c := e.plan.Node[t]
 	task := &e.st.P.Batch.Tasks[t]
+	if commit {
+		e.curTask = int(t)
+	}
 
 	// Stage missing files. §6 picks the file with minimum TCT first,
 	// recomputes, and repeats; since transfers to one node serialize on
@@ -744,6 +815,7 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 		bytes += e.st.P.Batch.FileSize(f)
 	}
 	execDur := float64(bytes)/e.st.P.Platform.Compute[c].LocalReadBW + task.Compute
+	stragFactor := 0.0
 	if commit && e.inj != nil {
 		// Stragglers stretch only the committed execution; ECT
 		// estimation stays fault-blind so tentative ordering is
@@ -751,9 +823,17 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 		if factor := e.inj.Straggler(int(t), e.round); factor > 1 {
 			execDur *= factor
 			e.stats.Stragglers++
+			stragFactor = factor
 		}
 	}
 	start := v.searcher(e.computeTL[c]).EarliestSlot(arrival, execDur)
+	if stragFactor > 1 {
+		if j := e.st.J; j.Enabled() {
+			j.Emit(journal.Event{T: e.base() + start, Kind: journal.KindFault, Round: e.round,
+				Fault: &journal.Fault{Class: journal.FaultStraggler, Node: c, Task: int(t), File: -1,
+					Factor: stragFactor, Detail: "execution stretched by straggling node"}})
+		}
+	}
 	if commit && e.inj != nil {
 		if crashAt := e.crashRel[c]; start+execDur > crashAt {
 			// Node c dies before this execution completes: burn the
@@ -792,6 +872,15 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 				b+start, b+start+execDur,
 				obs.A("task", int(t)), obs.A("node", c), obs.A("inputs", len(task.Files)))
 		}
+		if j := e.st.J; j.Enabled() {
+			b := e.base()
+			inputs := make([]int, len(task.Files))
+			for i, f := range task.Files {
+				inputs[i] = int(f)
+			}
+			j.Emit(journal.Event{T: b + start, Kind: journal.KindExec, Round: e.round, Exec: &journal.Exec{
+				Task: int(t), Node: c, Start: b + start, End: b + start + execDur, Inputs: inputs}})
+		}
 	}
 	return start + execDur, nil
 }
@@ -829,6 +918,7 @@ func (e *executor) run() (*ExecStats, error) {
 		if e.avail[op.Dest][op.File] >= 0 {
 			continue // already there
 		}
+		e.curTask = -1 // journaled as planner-directed pre-staging
 		v := newSchedEnv(e, true)
 		var err error
 		if op.Kind == Replica && !e.st.P.DisableReplication && e.avail[op.Src][op.File] >= 0 {
@@ -892,6 +982,11 @@ func (e *executor) run() (*ExecStats, error) {
 						"requeue task "+strconv.Itoa(int(top.task)), e.base()+fa.at,
 						obs.A("task", int(top.task)), obs.A("reason", fa.reason))
 				}
+				if j := e.st.J; j.Enabled() {
+					j.Emit(journal.Event{T: e.base() + fa.at, Kind: journal.KindFault, Round: e.round,
+						Fault: &journal.Fault{Class: journal.FaultRequeue, Node: fa.node,
+							Task: int(top.task), File: -1, Detail: fa.reason}})
+				}
 				continue
 			}
 			return nil, err
@@ -913,13 +1008,19 @@ func (e *executor) run() (*ExecStats, error) {
 				// The crash fell inside this sub-batch (or visibly
 				// interrupted work): the node loses its disk cache and
 				// reboots empty at the boundary.
-				e.st.DropNode(n)
+				dropped := e.st.DropNode(n)
 				e.inj.ConsumeCrash(n)
 				e.stats.Crashes++
 				if e.tr.Enabled() {
 					e.tr.SimInstant(obs.ComputeTrack(n), "fault",
 						"node "+strconv.Itoa(n)+" crash", math.Min(abs, e.base()+e.stats.Makespan),
 						obs.A("node", n))
+				}
+				if j := e.st.J; j.Enabled() {
+					j.Emit(journal.Event{T: math.Min(abs, e.base()+e.stats.Makespan),
+						Kind: journal.KindFault, Round: e.round,
+						Fault: &journal.Fault{Class: journal.FaultCrash, Node: n, Task: -1, File: -1,
+							Detail: fmt.Sprintf("node crashed; %d cached file copies lost, reboots empty", dropped)}})
 				}
 			}
 		}

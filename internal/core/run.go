@@ -8,6 +8,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // RunStatus reports how a batch run ended.
@@ -82,6 +83,13 @@ type Observer struct {
 	Trace obs.Tracer
 	// Metrics receives counters/gauges/histograms; nil means none.
 	Metrics *obs.Metrics
+	// Journal receives decision-provenance events (placement
+	// rationale, staging source choices, eviction victims,
+	// fault/recovery activity); nil means none. All journal
+	// timestamps are simulated time and all emissions happen in the
+	// sequential sections of the pipeline, so for a fixed seed the
+	// journal bytes are identical at any worker count.
+	Journal *journal.Recorder
 }
 
 // RunOptions bundles the optional behaviors of a run: post-hoc
@@ -197,6 +205,15 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 	}
 	pending = clean
 	res := &Result{Scheduler: s.Name(), Status: StatusComplete, TaskCount: len(pending)}
+	// Thread the journal through the state so schedulers and eviction
+	// policies can record rationale. Assigned unconditionally: a
+	// journal-free run on a reused state must not write into a stale
+	// recorder.
+	j := ob.Journal
+	st.J = j
+	st.JRound = res.SubBatches
+	j.Emit(journal.Event{T: st.Clock, Kind: journal.KindRunStart,
+		Run: &journal.Run{Sched: s.Name(), Tasks: len(pending)}})
 	// Per-task re-queue counts against the fault-recovery budget.
 	var attempts map[batch.TaskID]int
 	budget := 0
@@ -206,6 +223,7 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 	}
 	var agg ExecStats
 	for len(pending) > 0 {
+		st.JRound = res.SubBatches
 		endPlan := tr.Span(obs.TrackSched, "phase", "plan",
 			obs.A("pending", len(pending)), obs.A("sub_batch", res.SubBatches))
 		//schedlint:allow nowallclock,tracepurity measures real scheduling overhead (Fig 6(b) metric); never feeds placement decisions
@@ -228,6 +246,9 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 				return nil, fmt.Errorf("core: %s planned task %d which is not pending", s.Name(), t)
 			}
 		}
+		j.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlan, Round: res.SubBatches,
+			Plan: &journal.Plan{Sched: s.Name(), Pending: len(pending), Planned: len(plan.Tasks),
+				Pinned: plan.Pinned, PreStages: len(plan.PreStage)}})
 		clockBefore := st.Clock
 		endExec := tr.Span(obs.TrackSched, "phase", "execute",
 			obs.A("tasks", len(plan.Tasks)))
@@ -269,6 +290,9 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 					tr.SimInstant(obs.TrackBatch, "fault",
 						"abandon task "+strconv.Itoa(int(t)), st.Clock, obs.A("task", int(t)))
 				}
+				j.Emit(journal.Event{T: st.Clock, Kind: journal.KindFault, Round: res.SubBatches - 1,
+					Fault: &journal.Fault{Class: journal.FaultAbandon, Node: -1, Task: int(t), File: -1,
+						Attempt: attempts[t], Detail: "re-queue budget exhausted; task abandoned as degraded"}})
 			}
 		}
 		pending = pending[:0]
@@ -278,6 +302,7 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 		pending = batch.SortedCopy(pending)
 
 		if len(pending) > 0 {
+			st.JRound = res.SubBatches
 			endEvict := tr.Span(obs.TrackSched, "phase", "evict")
 			t0 = time.Now() //schedlint:allow nowallclock,tracepurity overhead metric only
 			s.Evict(st, pending)
@@ -320,5 +345,8 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 	ob.Metrics.Count("core.replica_bytes", res.ReplicaBytes)
 	ob.Metrics.Count("core.evictions", int64(res.Evictions))
 	ob.Metrics.SetGauge("core.makespan_s", res.Makespan)
+	j.Emit(journal.Event{T: st.Clock, Kind: journal.KindRunEnd, Round: res.SubBatches,
+		Run: &journal.Run{Sched: s.Name(), Tasks: res.TaskCount, Status: string(res.Status),
+			Makespan: res.Makespan, SubBatches: res.SubBatches}})
 	return res, nil
 }

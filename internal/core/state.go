@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/batch"
+	"repro/internal/obs/journal"
 )
 
 // State is the compute-cluster disk-cache state threaded through the
@@ -22,6 +23,15 @@ type State struct {
 	Evictions int
 	// Done marks tasks that have completed.
 	Done []bool
+
+	// J receives decision-provenance events when journaling is on.
+	// The run loop threads it here so schedulers (via PlanSubBatch's
+	// state argument) and the eviction policies can record rationale
+	// without API changes; nil (the default) journals nothing.
+	J *journal.Recorder
+	// JRound is the sub-batch ordinal journal events should carry,
+	// maintained by the run loop.
+	JRound int
 }
 
 // NewState builds the initial state: storage-cluster holds everything,

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/obs/journal"
 )
 
 // KeepFraction is the default retained share of each node's disk
@@ -48,7 +49,7 @@ func Popularity(st *core.State, pending []batch.TaskID) {
 // PopularityKeep frees disk using the §4.3 policy, keeping at most
 // keep·capacity of the most popular copies per node.
 func PopularityKeep(st *core.State, pending []batch.TaskID, keep float64) {
-	evictTo(st, pending, keep, func(n int, f batch.FileID) float64 {
+	evictTo(st, pending, keep, "popularity", func(n int, f batch.FileID) float64 {
 		copies := st.NumCopies(f)
 		if copies == 0 {
 			return 0
@@ -65,7 +66,7 @@ func LRU(st *core.State, pending []batch.TaskID) {
 
 // LRUKeep is LRU with an explicit retention budget.
 func LRUKeep(st *core.State, pending []batch.TaskID, keep float64) {
-	evictTo(st, pending, keep, func(n int, f batch.FileID) float64 {
+	evictTo(st, pending, keep, "lru", func(n int, f batch.FileID) float64 {
 		return st.LastUse(n, f)
 	})
 }
@@ -74,7 +75,7 @@ func LRUKeep(st *core.State, pending []batch.TaskID, keep float64) {
 // holds at most keep·capacity of cached bytes and has room for the
 // largest pending task. Values are computed once per round (Numcopies
 // drift within a round is second-order).
-func evictTo(st *core.State, pending []batch.TaskID, keep float64, value func(int, batch.FileID) float64) {
+func evictTo(st *core.State, pending []batch.TaskID, keep float64, policy string, value func(int, batch.FileID) float64) {
 	minFree := st.MaxPendingTaskBytes(pending)
 	for n := 0; n < st.P.Platform.NumCompute(); n++ {
 		cap := st.P.Platform.Compute[n].DiskSpace
@@ -107,6 +108,11 @@ func evictTo(st *core.State, pending []batch.TaskID, keep float64, value func(in
 		for _, c := range copies {
 			if st.Used(n) <= budget {
 				break
+			}
+			if st.J.Enabled() {
+				st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindEvict, Round: st.JRound,
+					Evict: &journal.Evict{Node: c.node, File: int(c.file),
+						Bytes: st.P.Batch.FileSize(c.file), Score: c.value, Policy: policy}})
 			}
 			st.Evict(c.node, c.file)
 		}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs/journal"
+)
+
+// chaosJournal runs the quick chaos matrix with a journal attached at
+// the given worker count and returns the serialized journal bytes.
+func chaosJournal(t *testing.T, workers int) []byte {
+	t.Helper()
+	o := quick()
+	o.Workers = workers
+	o.Obs.Journal = journal.New()
+	if _, err := Chaos(o); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Obs.Journal.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJournalWorkerInvariance is the journal's determinism contract:
+// the merged JSONL bytes of a seeded experiment — including fault,
+// retry and eviction events — must be identical at any -workers count.
+func TestJournalWorkerInvariance(t *testing.T) {
+	seq := chaosJournal(t, 1)
+	par := chaosJournal(t, 8)
+	if len(seq) == 0 {
+		t.Fatal("journal is empty")
+	}
+	if !bytes.Equal(seq, par) {
+		la := bytes.Split(seq, []byte("\n"))
+		lb := bytes.Split(par, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("journal differs across worker counts at line %d:\n  1: %s\n  8: %s",
+					i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("journal differs across worker counts: %d vs %d bytes", len(seq), len(par))
+	}
+	// The chaos matrix must actually exercise the interesting kinds.
+	events, err := journal.ReadJSONL(bytes.NewReader(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{journal.KindCell, journal.KindRunStart, journal.KindPlan,
+		journal.KindPlace, journal.KindStage, journal.KindExec, journal.KindFault,
+		journal.KindRunEnd} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events in chaos journal (kinds: %v)", k, kinds)
+		}
+	}
+}
+
+// TestJournalDoesNotPerturbSchedule asserts the observer contract: a
+// run with a journal attached produces the same tables as one without.
+func TestJournalDoesNotPerturbSchedule(t *testing.T) {
+	plain, err := Chaos(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quick()
+	o.Obs.Journal = journal.New()
+	observed, err := Chaos(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Title != observed[i].Title {
+			t.Fatalf("panel %d title differs", i)
+		}
+		for r := range plain[i].Rows {
+			for c := range plain[i].Rows[r].Values {
+				if plain[i].Rows[r].Values[c] != observed[i].Rows[r].Values[c] {
+					t.Errorf("panel %d row %d col %d: %g (plain) vs %g (journaled)",
+						i, r, c, plain[i].Rows[r].Values[c], observed[i].Rows[r].Values[c])
+				}
+			}
+		}
+	}
+}

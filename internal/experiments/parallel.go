@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // forEachCell runs f(0..n−1) — one call per (row, scheduler) cell of a
@@ -55,29 +57,52 @@ func forEachCell(workers, n int, f func(i int) error) error {
 	return nil
 }
 
-// forEachCellObserved is forEachCell with deterministic metric
-// aggregation: each cell records into a private registry, and after
-// all cells finish the registries merge into root.Metrics in
-// cell-index order — counters and histograms are commutative anyway,
-// and gauges get a fixed last-writer — so the aggregate snapshot is
-// identical at any worker count. The tracer is passed through shared:
-// its export sorts events canonically, so concurrent recording is
-// safe there too.
+// forEachCellObserved is forEachCell with deterministic observability
+// aggregation: each cell records into private sinks (metrics registry,
+// journal recorder), and after all cells finish the sinks merge into
+// the root observer in cell-index order — counters and histograms are
+// commutative anyway, gauges get a fixed last-writer, and journal
+// events keep their per-cell emission order — so the aggregate
+// snapshot and the merged journal bytes are identical at any worker
+// count. The tracer is passed through shared: its export sorts events
+// canonically, so concurrent recording is safe there too.
 func forEachCellObserved(workers, n int, root core.Observer, f func(i int, ob core.Observer) error) error {
-	if root.Metrics == nil {
+	if root.Metrics == nil && root.Journal == nil {
 		return forEachCell(workers, n, func(i int) error {
 			return f(i, core.Observer{Trace: root.Trace})
 		})
 	}
-	cells := make([]*obs.Metrics, n)
-	for i := range cells {
-		cells[i] = obs.NewMetrics()
+	var cells []*obs.Metrics
+	if root.Metrics != nil {
+		cells = make([]*obs.Metrics, n)
+		for i := range cells {
+			cells[i] = obs.NewMetrics()
+		}
+	}
+	var cellJ []*journal.Recorder
+	if root.Journal != nil {
+		cellJ = make([]*journal.Recorder, n)
+		for i := range cellJ {
+			cellJ[i] = journal.New()
+			cellJ[i].Emit(journal.Event{Kind: journal.KindCell,
+				Run: &journal.Run{Label: fmt.Sprintf("cell %d/%d", i, n)}})
+		}
 	}
 	err := forEachCell(workers, n, func(i int) error {
-		return f(i, core.Observer{Trace: root.Trace, Metrics: cells[i]})
+		ob := core.Observer{Trace: root.Trace}
+		if cells != nil {
+			ob.Metrics = cells[i]
+		}
+		if cellJ != nil {
+			ob.Journal = cellJ[i]
+		}
+		return f(i, ob)
 	})
 	for _, m := range cells {
 		root.Metrics.Merge(m)
+	}
+	for _, j := range cellJ {
+		root.Journal.Merge(j)
 	}
 	return err
 }

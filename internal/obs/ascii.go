@@ -14,6 +14,7 @@ var ganttGlyphs = map[string]byte{
 	"remote":   '=', // remote (wide-area) transfer
 	"replica":  '~', // intra-cluster replica transfer
 	"prestage": '+', // pre-staged transfer
+	"fault":    'x', // preempted/burned reservation (failed transfer, killed task)
 	"batch":    'B',
 }
 
@@ -99,7 +100,7 @@ func (t *Trace) WriteASCIIGantt(w io.Writer, width int) error {
 	if pad < 0 {
 		pad = 0
 	}
-	_, err := fmt.Fprintf(w, "%-*s  0s%s%s  (# exec, = remote, ~ replica, + prestage)\n",
+	_, err := fmt.Fprintf(w, "%-*s  0s%s%s  (# exec, = remote, ~ replica, + prestage, x fault)\n",
 		labelW, "", strings.Repeat(" ", pad), endLabel)
 	return err
 }

@@ -1,0 +1,258 @@
+// Package introspect is the live introspection plane: an opt-in HTTP
+// server exposing the observability sinks of a running experiment —
+// /metrics (Prometheus text format over the obs.Metrics registry),
+// /events (the decision journal as a server-sent-event stream),
+// /journal (the journal so far as JSONL), /gantt (the ASCII schedule
+// renderer) and the standard pprof mux.
+//
+// This package is the deliberate boundary where real wall-clock time,
+// goroutines and network I/O are allowed: everything it serves is
+// read-only over sinks the deterministic pipeline writes, so the
+// schedule can never depend on it. It sits outside the lint engine's
+// deterministic paths for exactly that reason.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+)
+
+// Options selects the sinks the server exposes; nil fields disable
+// their endpoints (404).
+type Options struct {
+	Metrics *obs.Metrics
+	Journal *journal.Recorder
+	Trace   *obs.Trace
+	// GanttWidth is the column budget of /gantt (default 120).
+	GanttWidth int
+}
+
+// Server is the introspection HTTP handler set.
+type Server struct {
+	opt Options
+	mux *http.ServeMux
+	bus *bus
+}
+
+// New builds a server over the given sinks. When a journal is present
+// its tap is claimed to feed /events subscribers; the tap only moves
+// events into bounded per-subscriber buffers (dropping on overflow),
+// honouring the Recorder's fast/non-blocking tap contract.
+func New(opt Options) *Server {
+	if opt.GanttWidth <= 0 {
+		opt.GanttWidth = 120
+	}
+	s := &Server{opt: opt, mux: http.NewServeMux(), bus: newBus()}
+	if opt.Journal.Enabled() {
+		opt.Journal.SetTap(s.bus.publish)
+	}
+	s.mux.HandleFunc("/", s.index)
+	s.mux.HandleFunc("/metrics", s.metrics)
+	s.mux.HandleFunc("/events", s.events)
+	s.mux.HandleFunc("/journal", s.journal)
+	s.mux.HandleFunc("/gantt", s.gantt)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the root HTTP handler (also useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until the listener fails. It
+// returns the bound address (useful with ":0") through the callback
+// before blocking.
+func (s *Server) ListenAndServe(addr string, bound func(net.Addr)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("introspect: %w", err)
+	}
+	if bound != nil {
+		bound(l.Addr())
+	}
+	return http.Serve(l, s.mux)
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "batch-scheduler introspection endpoints:")
+	fmt.Fprintln(w, "  /metrics       Prometheus text format")
+	fmt.Fprintln(w, "  /events        decision journal as server-sent events")
+	fmt.Fprintln(w, "  /journal       decision journal so far, JSONL")
+	fmt.Fprintln(w, "  /gantt         ASCII Gantt of the simulated schedule")
+	fmt.Fprintln(w, "  /debug/pprof/  Go profiling")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Metrics == nil {
+		http.Error(w, "no metrics registry attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.opt.Metrics.Snapshot().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) journal(w http.ResponseWriter, r *http.Request) {
+	if !s.opt.Journal.Enabled() {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.opt.Journal.WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) gantt(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Trace == nil {
+		http.Error(w, "no tracer attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.opt.Trace.WriteASCIIGantt(w, s.opt.GanttWidth); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// events streams the journal as server-sent events: first a replay of
+// everything recorded so far, then live events as they are emitted.
+// The subscriber's buffer is bounded; a client too slow to drain it
+// loses events and learns how many through a "dropped" comment line.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	if !s.opt.Journal.Enabled() {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	// Subscribe before replaying so no event can fall between the
+	// replay snapshot and the live stream; the overlap (events emitted
+	// between Events() and subscribe registration being visible in
+	// both) is resolved by skipping duplicates via Seq.
+	sub, cancel := s.bus.subscribe()
+	defer cancel()
+	lastSeq := -1
+	for _, ev := range s.opt.Journal.Events() {
+		if !writeSSE(w, ev) {
+			return
+		}
+		lastSeq = ev.Seq
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return
+			}
+			if ev.Seq <= lastSeq {
+				continue
+			}
+			if d := sub.takeDropped(); d > 0 {
+				fmt.Fprintf(w, ": dropped %d events (slow consumer)\n\n", d)
+			}
+			if !writeSSE(w, ev) {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE emits one journal event as an SSE frame; false on a dead
+// client connection.
+func writeSSE(w http.ResponseWriter, ev journal.Event) bool {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, line)
+	return err == nil
+}
+
+// bus fans journal events out to subscribers through bounded buffers.
+// publish is called from the Recorder's tap — under the Recorder's
+// lock — so it must never block: a full subscriber buffer drops the
+// event and counts the loss instead.
+type bus struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+// subBuffer is each subscriber's channel capacity. A full buffer
+// drops events rather than stalling the pipeline.
+const subBuffer = 1024
+
+type subscriber struct {
+	ch chan journal.Event
+
+	mu      sync.Mutex
+	dropped int64
+}
+
+func newBus() *bus {
+	return &bus{subs: map[*subscriber]struct{}{}}
+}
+
+// publish hands ev to every subscriber without blocking.
+func (b *bus) publish(ev journal.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// subscribe registers a new bounded-buffer subscriber; cancel
+// unregisters it and closes its channel.
+func (b *bus) subscribe() (*subscriber, func()) {
+	s := &subscriber{ch: make(chan journal.Event, subBuffer)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s, func() {
+		b.mu.Lock()
+		delete(b.subs, s)
+		b.mu.Unlock()
+		close(s.ch)
+	}
+}
+
+// takeDropped returns and resets the subscriber's lost-event count.
+func (s *subscriber) takeDropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dropped
+	s.dropped = 0
+	return d
+}

@@ -1,0 +1,237 @@
+package introspect
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+)
+
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (\S+)$`)
+)
+
+// TestMetricsEndpointParsesAsPrometheus is the acceptance criterion:
+// every /metrics line must be a valid Prometheus text-format TYPE
+// declaration or sample, histograms cumulative.
+func TestMetricsEndpointParsesAsPrometheus(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Count("remote_transfers", 7)
+	m.SetGauge("makespan_s", 12.5)
+	for i := 1; i <= 16; i++ {
+		m.Observe("plan_ms", float64(i))
+	}
+	srv := httptest.NewServer(New(Options{Metrics: m}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]string{}
+	lastBucket := map[string]float64{}
+	samples := map[string]float64{}
+	for ln, line := range strings.Split(strings.TrimRight(body.String(), "\n"), "\n") {
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			declared[m[1]] = m[2]
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d not valid prometheus text: %q", ln+1, line)
+		}
+		name, le, raw := m[1], m[3], m[4]
+		v := 0.0
+		if raw != "+Inf" {
+			var err error
+			if v, err = strconv.ParseFloat(raw, 64); err != nil {
+				t.Fatalf("line %d: bad value %q", ln+1, raw)
+			}
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && declared[strings.TrimSuffix(name, suf)] == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			t.Fatalf("line %d: sample %q has no # TYPE", ln+1, name)
+		}
+		if le != "" {
+			if v < lastBucket[base] {
+				t.Fatalf("histogram %s buckets not cumulative", base)
+			}
+			lastBucket[base] = v
+		}
+		samples[name] = v
+	}
+	if samples["remote_transfers"] != 7 || samples["makespan_s"] != 12.5 || samples["plan_ms_count"] != 16 {
+		t.Fatalf("samples wrong: %v", samples)
+	}
+}
+
+func TestEndpointsWithoutSinks404(t *testing.T) {
+	srv := httptest.NewServer(New(Options{}).Handler())
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/events", "/journal", "/gantt"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without sink: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestJournalEndpointRoundTrips(t *testing.T) {
+	rec := journal.New()
+	rec.Emit(journal.Event{Kind: journal.KindRunStart, Run: &journal.Run{Sched: "MinMin", Tasks: 3}})
+	rec.Emit(journal.Event{T: 1.5, Kind: journal.KindExec, Exec: &journal.Exec{Task: 0, Node: 1, Start: 0, End: 1.5}})
+	srv := httptest.NewServer(New(Options{Journal: rec}).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs, err := journal.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Run.Sched != "MinMin" || evs[1].Exec.Node != 1 {
+		t.Fatalf("journal round-trip: %+v", evs)
+	}
+}
+
+// TestEventsStreamReplaysAndFollows: an SSE client must receive the
+// already-recorded events, then live ones, each exactly once.
+func TestEventsStreamReplaysAndFollows(t *testing.T) {
+	rec := journal.New()
+	rec.Emit(journal.Event{Kind: journal.KindRunStart, Run: &journal.Run{Sched: "x"}})
+	s := New(Options{Journal: rec})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	events := make(chan journal.Event, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev journal.Event
+				if json.Unmarshal([]byte(data), &ev) == nil {
+					//schedlint:allow mergeorder single reader goroutine relaying a stream in arrival order
+					events <- ev
+				}
+			}
+		}
+		close(events)
+	}()
+
+	read := func(wantKind string) journal.Event {
+		t.Helper()
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			if ev.Kind != wantKind {
+				t.Fatalf("got %q event, want %q", ev.Kind, wantKind)
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %q event", wantKind)
+			panic("unreachable")
+		}
+	}
+	read(journal.KindRunStart) // replay
+	rec.Emit(journal.Event{T: 2, Kind: journal.KindExec, Exec: &journal.Exec{Task: 4, Node: 0, Start: 1, End: 2}})
+	live := read(journal.KindExec) // live via the tap/bus
+	if live.Exec.Task != 4 {
+		t.Fatalf("live event payload: %+v", live.Exec)
+	}
+	// No duplicates: nothing further is pending.
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected extra event: %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestBusDropsWhenSlow: a full subscriber buffer must drop events and
+// count them rather than block the publisher (the Recorder tap runs
+// under the Recorder's lock).
+func TestBusDropsWhenSlow(t *testing.T) {
+	b := newBus()
+	sub, cancel := b.subscribe()
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < subBuffer+50; i++ {
+			b.publish(journal.Event{Seq: i, Kind: journal.KindExec})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+	if got := sub.takeDropped(); got != 50 {
+		t.Fatalf("dropped = %d, want 50", got)
+	}
+	if len(sub.ch) != subBuffer {
+		t.Fatalf("buffered = %d, want %d", len(sub.ch), subBuffer)
+	}
+}
+
+func TestGanttEndpointServesASCII(t *testing.T) {
+	tr := obs.New()
+	tid := tr.AllocTrack(obs.DomainSim, "compute 0")
+	tr.SimSpan(tid, "exec", "task 0", 0, 2)
+	srv := httptest.NewServer(New(Options{Trace: tr}).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/gantt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

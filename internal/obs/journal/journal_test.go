@@ -1,0 +1,142 @@
+package journal
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() []Event {
+	return []Event{
+		{Kind: KindRunStart, Run: &Run{Sched: "MinMin", Tasks: 2}},
+		{Kind: KindPlace, Round: 0, Place: &Place{
+			Task: 0, Node: 1, Policy: "minmin-ect", Score: 3.5,
+			Candidates: []Candidate{{Node: 0, Score: 4.0, Fits: true}, {Node: 1, Score: 3.5, Fits: true}},
+		}},
+		{Kind: KindStage, T: 0, Round: 0, Stage: &Stage{
+			File: 0, Dest: 1, Src: -1, Home: 0, Kind: "remote",
+			Start: 0, End: 2.5, Bytes: 1 << 20, Cause: "task", Task: 0,
+			Alternatives: []SourceAlt{{Src: -1, TCT: 2.5}},
+		}},
+		{Kind: KindExec, T: 2.5, Round: 0, Exec: &Exec{Task: 0, Node: 1, Start: 2.5, End: 5, Inputs: []int{0}}},
+		{Kind: KindEvict, T: 5, Round: 0, Evict: &Evict{Node: 1, File: 0, Bytes: 1 << 20, Score: 0.5, Policy: "popularity"}},
+		{Kind: KindFault, T: 5, Round: 1, Fault: &Fault{Class: FaultCrash, Node: 1, Task: -1, File: -1}},
+		{Kind: KindRunEnd, T: 9, Run: &Run{Sched: "MinMin", Status: "Complete", Makespan: 9, SubBatches: 2}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := New()
+	for _, ev := range sample() {
+		r.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != r.Len() {
+		t.Fatalf("got %d lines, want %d", n, r.Len())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Events()) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, r.Events())
+	}
+}
+
+func TestSeqAssignment(t *testing.T) {
+	r := New()
+	for _, ev := range sample() {
+		r.Emit(ev)
+	}
+	for i, ev := range r.Events() {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Emit(Event{Kind: KindExec})
+	r.SetTap(func(Event) {})
+	r.Merge(New())
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder not empty")
+	}
+}
+
+func TestMergeReseqsDeterministically(t *testing.T) {
+	build := func() (*Recorder, *Recorder) {
+		a, b := New(), New()
+		a.Emit(Event{Kind: KindRunStart, Run: &Run{Sched: "A"}})
+		a.Emit(Event{Kind: KindRunEnd, Run: &Run{Sched: "A"}})
+		b.Emit(Event{Kind: KindRunStart, Run: &Run{Sched: "B"}})
+		return a, b
+	}
+	a1, b1 := build()
+	m1 := New()
+	m1.Merge(a1)
+	m1.Merge(b1)
+	a2, b2 := build()
+	m2 := New()
+	m2.Merge(a2)
+	m2.Merge(b2)
+	var w1, w2 bytes.Buffer
+	if err := m1.WriteJSONL(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteJSONL(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("index-order merges differ")
+	}
+	evs := m1.Events()
+	if len(evs) != 3 {
+		t.Fatalf("merged %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("merged event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[2].Run.Sched != "B" {
+		t.Fatalf("merge order violated: %+v", evs[2])
+	}
+}
+
+func TestTapSeesEventsInOrder(t *testing.T) {
+	r := New()
+	var seen []int
+	r.SetTap(func(ev Event) { seen = append(seen, ev.Seq) })
+	for _, ev := range sample() {
+		r.Emit(ev)
+	}
+	r.SetTap(nil)
+	r.Emit(Event{Kind: KindRunEnd})
+	if len(seen) != len(sample()) {
+		t.Fatalf("tap saw %d events, want %d", len(seen), len(sample()))
+	}
+	for i, s := range seen {
+		if s != i {
+			t.Fatalf("tap order: %v", seen)
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"seq\":0}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank lines: %v %v", evs, err)
+	}
+}

@@ -161,6 +161,43 @@ func (m *Metrics) Merge(o *Metrics) {
 	}
 }
 
+// quantile estimates the q-th quantile (q in (0,1]) by walking the
+// buckets in ascending order and interpolating linearly inside the
+// bucket where the cumulative count crosses q·count. Bucket bounds are
+// clamped to the observed min/max, so single-valued histograms report
+// the exact value at every quantile.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	idx := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		idx = append(idx, b)
+	}
+	sort.Ints(idx)
+	rank := q * float64(h.count)
+	var cum int64
+	for _, b := range idx {
+		c := h.buckets[b]
+		if float64(cum+c) >= rank {
+			// Bucket b spans (2^(b-1), 2^b]; bucket 0 absorbs everything
+			// at or below 1.
+			lo, hi := math.Inf(-1), 1.0
+			if b > 0 {
+				lo, hi = math.Ldexp(1, b-1), math.Ldexp(1, b)
+			}
+			lo, hi = math.Max(lo, h.min), math.Min(hi, h.max)
+			if hi <= lo {
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.max
+}
+
 // HistSnapshot is the exported view of one histogram.
 type HistSnapshot struct {
 	Count int64   `json:"count"`
@@ -168,6 +205,12 @@ type HistSnapshot struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
+	// P50/P95/P99 are quantile estimates interpolated within the
+	// power-of-two buckets; exact when a bucket holds one distinct
+	// value, otherwise correct to within the bucket's width.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 	// Buckets maps the bucket's upper bound 2^b, formatted as the
 	// integer exponent b, to its observation count.
 	Buckets map[string]int64 `json:"buckets"`
@@ -204,6 +247,9 @@ func (m *Metrics) Snapshot() Snapshot {
 			Buckets: make(map[string]int64, len(h.buckets))}
 		if h.count > 0 {
 			hs.Mean = h.sum / float64(h.count)
+			hs.P50 = h.quantile(0.50)
+			hs.P95 = h.quantile(0.95)
+			hs.P99 = h.quantile(0.99)
 		}
 		for b, c := range h.buckets {
 			hs.Buckets[fmt.Sprintf("%d", b)] = c
@@ -240,6 +286,9 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 		rows = append(rows, fmt.Sprintf("histogram,%s,min,%g", k, h.Min))
 		rows = append(rows, fmt.Sprintf("histogram,%s,max,%g", k, h.Max))
 		rows = append(rows, fmt.Sprintf("histogram,%s,mean,%g", k, h.Mean))
+		rows = append(rows, fmt.Sprintf("histogram,%s,p50,%g", k, h.P50))
+		rows = append(rows, fmt.Sprintf("histogram,%s,p95,%g", k, h.P95))
+		rows = append(rows, fmt.Sprintf("histogram,%s,p99,%g", k, h.P99))
 	}
 	sort.Strings(rows)
 	if _, err := fmt.Fprintln(w, "kind,name,field,value"); err != nil {

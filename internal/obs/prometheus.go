@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count families whose le
+// bounds are this registry's power-of-two bucket uppers. Series are
+// sorted by name, so the bytes are deterministic for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[k]))
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		exps := make([]int, 0, len(h.Buckets))
+		for e := range h.Buckets {
+			exp, err := strconv.Atoi(e)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s has non-integer bucket key %q", k, e)
+			}
+			exps = append(exps, exp)
+		}
+		sort.Ints(exps)
+		var cum int64
+		for _, exp := range exps {
+			cum += h.Buckets[strconv.Itoa(exp)]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", n, promFloat(math.Ldexp(1, exp)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("obs: write prometheus text: %w", err)
+	}
+	return nil
+}
+
+// promName maps a registry series name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing everything else with '_' and
+// prefixing a leading digit.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects (Go 'g' format
+// handles +Inf/-Inf/NaN spellings compatibly).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (\S+)$`)
+)
+
+// parsePromText is a strict checker for the subset of the Prometheus
+// text exposition format WritePrometheus emits. It returns the sample
+// lines keyed by full series name and fails the test on any malformed
+// line, undeclared sample, or non-cumulative histogram.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	declared := map[string]string{}
+	lastBucket := map[string]float64{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			declared[m[1]] = m[2]
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d not valid prometheus text: %q", ln+1, line)
+		}
+		name, le, raw := m[1], m[3], m[4]
+		var v float64
+		var err error
+		if raw == "+Inf" || raw == "-Inf" || raw == "NaN" {
+			v = 0
+		} else if v, err = strconv.ParseFloat(raw, 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, raw, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && declared[strings.TrimSuffix(name, suf)] == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+		if le != "" {
+			if declared[base] != "histogram" {
+				t.Fatalf("line %d: le label on non-histogram %q", ln+1, name)
+			}
+			if v < lastBucket[base] {
+				t.Fatalf("line %d: histogram %s buckets not cumulative (%g after %g)", ln+1, base, v, lastBucket[base])
+			}
+			lastBucket[base] = v
+			samples[name+"{le="+le+"}"] = v
+			continue
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	m := NewMetrics()
+	m.Count("remote_bytes", 1<<20)
+	m.Count("weird/name.with-chars", 3)
+	m.SetGauge("makespan_s", 42.5)
+	for i := 1; i <= 100; i++ {
+		m.Observe("plan_ms", float64(i))
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, buf.String())
+	if samples["remote_bytes"] != 1<<20 {
+		t.Errorf("remote_bytes = %g", samples["remote_bytes"])
+	}
+	if samples["weird_name_with_chars"] != 3 {
+		t.Errorf("sanitized counter missing: %v", samples)
+	}
+	if samples["makespan_s"] != 42.5 {
+		t.Errorf("makespan_s = %g", samples["makespan_s"])
+	}
+	if samples["plan_ms_count"] != 100 || samples["plan_ms_sum"] != 5050 {
+		t.Errorf("histogram count/sum: %g/%g", samples["plan_ms_count"], samples["plan_ms_sum"])
+	}
+	if samples[`plan_ms_bucket{le=+Inf}`] != 100 {
+		t.Errorf("+Inf bucket = %g", samples[`plan_ms_bucket{le=+Inf}`])
+	}
+	// 1..100 in power-of-two buckets: le="64" holds 64 observations.
+	if samples[`plan_ms_bucket{le=64}`] != 64 {
+		t.Errorf("le=64 bucket = %g, want 64", samples[`plan_ms_bucket{le=64}`])
+	}
+
+	// Determinism: two writes, identical bytes.
+	var buf2 bytes.Buffer
+	if err := m.Snapshot().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("prometheus output not deterministic")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/eviction"
 	"repro/internal/hypergraph"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // Scheduler is the BiPartition scheduler.
@@ -98,6 +99,7 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 	assign = s.repairDisk(st, sub, assign)
 	tr.Instant(obs.TrackSched, "bipart", "tasks mapped",
 		obs.A("mapped", before), obs.A("after_repair", len(assign)))
+	reason := "connectivity-1 K-way partition of the sub-batch hypergraph (Eq. 25–26 expected-time vertex weights)"
 	if len(assign) == 0 {
 		// Repair dropped everything; guarantee progress by placing the
 		// single most-sharing task alone on the emptiest node.
@@ -105,12 +107,21 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 		if len(assign) == 0 {
 			return nil, fmt.Errorf("bipart: cannot place any pending task (pending %d)", len(pending))
 		}
+		reason = "disk repair dropped the whole mapping; single task placed on the emptiest fitting node"
 	}
 	plan := &core.SubPlan{Node: assign}
 	for t := range assign {
 		plan.Tasks = append(plan.Tasks, t)
 	}
 	plan.Tasks = batch.SortedCopy(plan.Tasks)
+	if st.J.Enabled() {
+		for _, t := range plan.Tasks {
+			//schedlint:allow ordertaint plan.Tasks is sorted by SortedCopy above, so emission order is deterministic
+			st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlace, Round: st.JRound,
+				Place: &journal.Place{Task: int(t), Node: assign[t], Policy: "kway-partition",
+					Reason: reason}})
+		}
+	}
 	return plan, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/eviction"
 	"repro/internal/mip"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/sched/bipart"
 )
 
@@ -135,7 +136,26 @@ func (s *Scheduler) allocateOnce(st *core.State, sub []batch.TaskID) (*core.SubP
 			x = px
 		}
 	}
-	return ins.extractPlan(vi, x), nil
+	plan := ins.extractPlan(vi, x)
+	if st.J.Enabled() {
+		reason := fmt.Sprintf("0-1 allocation IP (status %s, %d branch-and-bound nodes); task-node and staging variables fixed jointly", sol.Status, sol.Nodes)
+		for _, t := range plan.Tasks {
+			st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlace, Round: st.JRound,
+				Place: &journal.Place{Task: int(t), Node: plan.Node[t], Policy: "ip-allocation",
+					Reason: reason}})
+		}
+		for _, op := range plan.Staging {
+			src := -1
+			if op.Kind == core.Replica {
+				src = op.Src
+			}
+			st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindReplicate, Round: st.JRound,
+				Replicate: &journal.Replicate{File: int(op.File), Dest: op.Dest, Src: src,
+					Policy: "ip-allocation",
+					Reason: "pinned by the allocation IP's staging variables"}})
+		}
+	}
+	return plan, nil
 }
 
 // heuristicAssignment derives a disk-feasible warm-start assignment

@@ -27,6 +27,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/eviction"
+	"repro/internal/obs/journal"
 )
 
 // Scheduler is the JobDataPresent + DataLeastLoaded baseline.
@@ -171,6 +172,16 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 				op.Src = src
 			}
 			plan.PreStage = append(plan.PreStage, op)
+			if st.J.Enabled() {
+				src := -1
+				if op.Kind == core.Replica {
+					src = op.Src
+				}
+				st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindReplicate, Round: st.JRound,
+					Replicate: &journal.Replicate{File: int(pe.f), Dest: dest, Src: src,
+						Policy: "data-least-loaded", Popularity: pe.n, Threshold: s.PopularityThreshold,
+						Reason: "pending accesses exceed threshold; replica pushed to emptiest eligible disk"}})
+			}
 			holds[dest][pe.f] = true
 			free[dest] -= b.FileSize(pe.f)
 			replicas++
@@ -181,8 +192,15 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 		// Job Data Present: choose the node with the cheapest expected
 		// staging; ties go to the least loaded.
 		best, bestCost, bestLoad := -1, math.Inf(1), math.Inf(1)
+		var cands []journal.Candidate
+		if st.J.Enabled() {
+			cands = make([]journal.Candidate, 0, C)
+		}
 		for i := 0; i < C; i++ {
 			c, extra := stageCost(k, i)
+			if cands != nil {
+				cands = append(cands, journal.Candidate{Node: i, Score: c, Fits: extra <= free[i]})
+			}
 			if extra > free[i] {
 				continue
 			}
@@ -195,6 +213,12 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 		}
 		plan.Tasks = append(plan.Tasks, k)
 		plan.Node[k] = best
+		if st.J.Enabled() {
+			st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlace, Round: st.JRound,
+				Place: &journal.Place{Task: int(k), Node: best, Policy: "jdp-data-present",
+					Score: bestCost, Candidates: cands,
+					Reason: "cheapest expected staging cost (most input bytes present); ties to least-loaded node"}})
+		}
 		_, extra := stageCost(k, best)
 		free[best] -= extra
 		load[best] += bestCost + execTime(k, best)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/eviction"
+	"repro/internal/obs/journal"
 )
 
 // Scheduler is the MinMin baseline. The zero value is ready to use.
@@ -139,6 +140,16 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 		remaining--
 		plan.Tasks = append(plan.Tasks, k)
 		plan.Node[k] = bestNode
+		if st.J.Enabled() {
+			cands := make([]journal.Candidate, C)
+			for i := 0; i < C; i++ {
+				cands[i] = journal.Candidate{Node: i, Score: mct[bestIdx][i], Fits: fit[bestIdx][i]}
+			}
+			st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlace, Round: st.JRound,
+				Place: &journal.Place{Task: int(k), Node: bestNode, Policy: "minmin-mct",
+					Score: bestT, Candidates: cands,
+					Reason: "smallest minimum expected completion time among unscheduled tasks"}})
+		}
 		// Stage the task's files (implicit replication) and occupy the
 		// node.
 		e, extra := ect(k, bestNode)
