@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet lint test race fuzz-short chaos explain-check verify bench bench-all bench-parallel profile figures clean
+.PHONY: all help build vet lint test race fuzz-short chaos spec-chaos explain-check verify bench bench-all bench-parallel profile figures clean
 
 all: verify
 
@@ -14,6 +14,7 @@ help:
 	@echo "  make race          - unit tests under the race detector"
 	@echo "  make fuzz-short    - one short iteration of each fuzz target"
 	@echo "  make chaos         - fault-injection suite under -race + the chaos matrix"
+	@echo "  make spec-chaos    - speculation suite under -race + a speculated CLI run"
 	@echo "  make explain-check - journal byte-determinism (workers 1 vs 8) + schedexplain smoke"
 	@echo "  make bench         - per-scheduler benches -> BENCH_schedulers.json"
 	@echo "  make bench-all     - all benchmarks, one iteration"
@@ -61,6 +62,17 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Crash|Degrade|Preempt' ./internal/core/ ./internal/faults/ ./internal/gantt/ ./internal/experiments/ -v
 	$(GO) run ./cmd/paperfigs -fig chaos -quick
 
+# The speculative-execution suite under the race detector: policy
+# parsing/thresholds, the first-finisher-wins race outcomes, rescue
+# and double-requeue invariants, and journal byte-determinism with
+# speculation armed (the chaos matrix above sweeps the ±spec arms of
+# every scheduler; this adds the focused property tests plus one
+# speculated CLI run end to end).
+spec-chaos:
+	$(GO) test -race -run 'Spec|Straggler|Journal' ./internal/core/ ./internal/spec/ ./internal/faults/ ./internal/experiments/ -v
+	$(GO) run ./cmd/batchsched -app image -tasks 40 -sched minmin \
+		-faults harsh,mttf=100 -speculate single-fork:0.86
+
 # Decision-journal determinism from the CLI down: the same seeded
 # figure at -workers 1 and -workers 8 must write byte-identical
 # provenance journals, and schedexplain must answer over the result
@@ -77,10 +89,14 @@ verify: build vet lint test race fuzz-short explain-check
 
 # One timed pipeline run per scheduling scheme, parsed into
 # BENCH_schedulers.json (per-scheme ns/op, allocs/op, simulated
-# makespan) so CI can archive the performance trajectory.
+# makespan) so CI can archive the performance trajectory; the fault/
+# speculation arms land in BENCH_faults.json with the wasted_compute_s
+# and spec_wins columns alongside.
 bench:
 	$(GO) test -run='^$$' -bench='^BenchmarkSchedulers$$' -benchmem -benchtime=1x \
 		| $(GO) run ./cmd/benchjson -o BENCH_schedulers.json
+	$(GO) test -run='^$$' -bench='^BenchmarkFaultRecovery$$' -benchmem -benchtime=1x \
+		| $(GO) run ./cmd/benchjson -o BENCH_faults.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -9,6 +9,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/hypergraph"
 	"repro/internal/mip"
 	"repro/internal/platform"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/sched/jdp"
 	"repro/internal/sched/minmin"
 	"repro/internal/simplex"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -89,6 +91,51 @@ func BenchmarkSchedulers(b *testing.B) {
 				runScheduler(b, p, scheme.mk(), "makespan_s")
 			})
 		}
+	}
+}
+
+// BenchmarkFaultRecovery times the fault-tolerant runtime on one
+// IMAGE workload under three arms: fault-free, the harsh preset (MTTF
+// shrunk into the quick makespan so crashes actually land), and harsh
+// with the single-fork speculation watchdog armed. Besides wall-clock
+// it reports the simulated makespan, the wasted compute (failed,
+// crashed and cancelled-speculative port time) and the speculation
+// outcome counters, so `make bench` archives the cost of recovery —
+// wasted_compute_s, spec_wins — next to the scaling trajectories.
+func BenchmarkFaultRecovery(b *testing.B) {
+	for _, arm := range []struct {
+		name  string
+		plan  string
+		polic string
+	}{
+		{"none", "", ""},
+		{"harsh", "harsh,mttf=25", ""},
+		{"harsh+spec", "harsh,mttf=25", "single-fork:0.86"},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			p := ablationProblem(b, 100, 0)
+			fp, err := faults.Parse(arm.plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp, err := spec.Parse(arm.polic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunWith(p, minmin.New(), core.RunOptions{Faults: fp, Spec: sp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Makespan, "makespan_s")
+			b.ReportMetric(last.WastedSeconds+last.SpecWastedSeconds, "wasted_compute_s")
+			b.ReportMetric(float64(last.SpecLaunches), "spec_launches")
+			b.ReportMetric(float64(last.SpecWins), "spec_wins")
+		})
 	}
 }
 

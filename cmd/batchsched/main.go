@@ -8,7 +8,7 @@
 //	           -platform xio|osumed -compute 4 -storage 4
 //	           -sched ip|bipartition|minmin|jdp [-disk-gb 40]
 //	           [-no-replication] [-ip-budget 20s] [-seed 1] [-v]
-//	           [-workers N] [-faults SCENARIO]
+//	           [-workers N] [-faults SCENARIO] [-speculate POLICY]
 //	           [-obs-trace out.json] [-obs-metrics out.json] [-obs-gantt]
 //	           [-journal out.jsonl] [-listen :8080 [-serve-for 10m]]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
@@ -22,6 +22,15 @@
 // unfinished tasks are re-queued; a run whose retry budgets are
 // exhausted ends with status Degraded. The same scenario spec always
 // reproduces the identical schedule.
+//
+// -speculate arms the straggler watchdog (internal/spec): never (the
+// default), fixed-factor[:F] (fork a duplicate once a task has run F×
+// its fault-free duration, default 2), or single-fork[:Q] (fork at
+// the Q-quantile of the scenario's straggler slowdown distribution,
+// default 0.9; alias single-fork-at-t*). The first finisher wins, the
+// loser is cancelled deterministically and its started port time is
+// burnt as wasted compute. Only meaningful together with -faults —
+// without an injector the threshold is never exceeded.
 //
 // -workers sets the parallelism of the scheduler's solver (the IP
 // branch-and-bound portfolio, the hypergraph partitioner); 0 uses
@@ -68,6 +77,7 @@ import (
 	"repro/internal/sched/ipsched"
 	"repro/internal/sched/jdp"
 	"repro/internal/sched/minmin"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -86,6 +96,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print workload statistics")
 	workers := flag.Int("workers", 0, "solver parallelism (0 = all CPUs, 1 = sequential)")
 	faultSpec := flag.String("faults", "", "failure scenario: none, mild, harsh, or key=value pairs (e.g. harsh,seed=7)")
+	specSpec := flag.String("speculate", "", "speculation policy: never, fixed-factor[:F], or single-fork[:Q] (needs -faults)")
 	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of the run (view in Perfetto)")
 	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the run's metrics")
 	obsGantt := flag.Bool("obs-gantt", false, "print an ASCII Gantt of the simulated schedule")
@@ -204,8 +215,15 @@ func main() {
 	if err != nil {
 		fatal("faults: %v", err)
 	}
+	sp, err := spec.Parse(*specSpec)
+	if err != nil {
+		fatal("speculate: %v", err)
+	}
+	if sp.Active() && fp == nil {
+		fmt.Fprintln(os.Stderr, "speculate: no fault scenario (-faults); the watchdog threshold is never exceeded and the policy is inert")
+	}
 
-	res, err := core.RunWith(p, sched, core.RunOptions{Obs: ob, Faults: fp})
+	res, err := core.RunWith(p, sched, core.RunOptions{Obs: ob, Faults: fp, Spec: sp})
 	if err != nil {
 		fatal("run: %v", err)
 	}
@@ -228,6 +246,13 @@ func main() {
 		fmt.Printf("node crashes:         %d (%d tasks re-queued)\n", res.Crashes, res.RequeuedTasks)
 		fmt.Printf("stragglers:           %d\n", res.Stragglers)
 		fmt.Printf("wasted port time:     %.2f s\n", res.WastedSeconds)
+	}
+	if sp.Active() {
+		fmt.Printf("speculation:          %s\n", sp)
+		fmt.Printf("twins launched:       %d (%d twin wins, %d crash rescues)\n",
+			res.SpecLaunches, res.SpecWins, res.SpecSaved)
+		fmt.Printf("cancelled attempts:   %d (%.2f s of port time burnt)\n",
+			res.SpecCancels, res.SpecWastedSeconds)
 	}
 
 	if *obsGantt {

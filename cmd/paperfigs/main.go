@@ -7,14 +7,17 @@
 //
 //	paperfigs [-fig 3|4|5a|5b|6|chaos|all] [-quick] [-ip-budget 20s]
 //	          [-skip-ip] [-seed N] [-csv dir] [-workers N] [-faults SCENARIO]
-//	          [-obs-trace out.json] [-obs-metrics out.json]
+//	          [-speculate POLICY] [-obs-trace out.json] [-obs-metrics out.json]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -fig chaos runs the fault-tolerance matrix (fault scenario ×
-// scheduler) instead of a paper figure; it sweeps its own scenarios
-// and reports makespan, degradation, and recovery activity. -faults
-// injects a fixed failure scenario (mild, harsh, or a key=value spec)
-// into the cells of the ordinary figures; chaos ignores it.
+// speculation × scheduler) instead of a paper figure; it sweeps its
+// own scenarios and reports makespan, degradation with wasted
+// compute, and recovery/speculation activity. -faults injects a fixed
+// failure scenario (mild, harsh, or a key=value spec) into the cells
+// of the ordinary figures, and -speculate arms the straggler watchdog
+// (never, fixed-factor[:F], single-fork[:Q]) in those same cells;
+// chaos ignores both and sweeps its own matrix.
 //
 // -workers fans the independent cells of each figure (and each
 // scheduler's internal solver) across N goroutines; 0 uses every CPU
@@ -44,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/report"
+	"repro/internal/spec"
 )
 
 func main() {
@@ -55,6 +59,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
 	workers := flag.Int("workers", 0, "parallel workers for figure cells and solvers (0 = all CPUs, 1 = sequential)")
 	faultSpec := flag.String("faults", "", "failure scenario for figure cells: none, mild, harsh, or key=value pairs")
+	specSpec := flag.String("speculate", "", "speculation policy for figure cells: never, fixed-factor[:F], or single-fork[:Q] (needs -faults; chaos sweeps its own)")
 	obsTrace := flag.String("obs-trace", "", "write a Chrome trace-event JSON of all cells (view in Perfetto)")
 	obsMetrics := flag.String("obs-metrics", "", "write a JSON snapshot of the merged metric registry")
 	journalPath := flag.String("journal", "", "write the merged decision-provenance journal (JSONL) for schedexplain")
@@ -87,8 +92,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
 		os.Exit(2)
 	}
+	sp, err := spec.Parse(*specSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "speculate: %v\n", err)
+		os.Exit(2)
+	}
+	if sp.Active() && fp == nil {
+		fmt.Fprintln(os.Stderr, "speculate: no fault scenario (-faults); the watchdog threshold is never exceeded and the policy is inert")
+	}
 
-	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers, Obs: ob, Faults: fp}
+	opts := experiments.Options{Quick: *quick, IPBudget: *ipBudget, Seed: *seed, SkipIP: *skipIP, Workers: *workers, Obs: ob, Faults: fp, Spec: sp}
 	runners := map[string]func(experiments.Options) ([]*report.Table, error){
 		"3": experiments.Fig3, "4": experiments.Fig4,
 		"5a": experiments.Fig5a, "5b": experiments.Fig5b,

@@ -112,7 +112,8 @@ func summary(j *explain.Journal, asJSON bool) {
 	fmt.Println()
 	for _, k := range []string{journal.KindRunStart, journal.KindCell, journal.KindPlan,
 		journal.KindPlace, journal.KindReplicate, journal.KindStage, journal.KindExec,
-		journal.KindEvict, journal.KindFault, journal.KindRunEnd} {
+		journal.KindEvict, journal.KindFault, journal.KindSpecLaunch,
+		journal.KindSpecWin, journal.KindSpecCancel, journal.KindRunEnd} {
 		if n := kinds[k]; n > 0 {
 			fmt.Printf("  %-10s %d\n", k, n)
 		}

@@ -85,6 +85,7 @@ var DefaultDeterministicPaths = []string{
 	"repro/internal/eviction",
 	"repro/internal/core",
 	"repro/internal/faults",
+	"repro/internal/spec",
 	"repro/internal/obs/journal",
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gantt"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/spec"
 )
 
 // ExecStats reports what the runtime stage did for one sub-batch.
@@ -40,6 +41,14 @@ type ExecStats struct {
 	Stragglers        int     // execution attempts slowed by a straggling node
 	RequeuedTasks     int     // tasks interrupted and handed back for a later sub-batch
 	WastedSeconds     float64 // port seconds burnt by failed or interrupted attempts
+
+	// Speculative-execution accounting, all zero unless a speculation
+	// policy forked twins this sub-batch.
+	SpecLaunches      int     // speculative twin attempts forked
+	SpecWins          int     // tasks completed by their twin (primary lost)
+	SpecCancels       int     // losing attempts cancelled (one per launch)
+	SpecSaved         int     // twin wins whose primary was crash-killed
+	SpecWastedSeconds float64 // port seconds burnt by losing speculative attempts
 }
 
 // Add folds o into s. Every field is a plain sum, so aggregation is
@@ -62,6 +71,11 @@ func (s *ExecStats) Add(o *ExecStats) {
 	s.Stragglers += o.Stragglers
 	s.RequeuedTasks += o.RequeuedTasks
 	s.WastedSeconds += o.WastedSeconds
+	s.SpecLaunches += o.SpecLaunches
+	s.SpecWins += o.SpecWins
+	s.SpecCancels += o.SpecCancels
+	s.SpecSaved += o.SpecSaved
+	s.SpecWastedSeconds += o.SpecWastedSeconds
 }
 
 // Execute runs one sub-batch plan through the §6 runtime stage:
@@ -96,7 +110,7 @@ func ExecuteTraced(st *State, plan *SubPlan) (*ExecStats, *gantt.Schedule, error
 // both compute tracks, task executions on their node's track — with
 // absolute batch timestamps. Observation never alters the schedule.
 func ExecuteObserved(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*ExecStats, *gantt.Schedule, error) {
-	e, err := newExecutor(st, plan, traced, tr, nil, 0)
+	e, err := newExecutor(st, plan, traced, tr, nil, 0, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,7 +131,21 @@ func ExecuteObserved(st *State, plan *SubPlan, traced bool, tr obs.Tracer) (*Exe
 // in requeued — still pending, for the caller to re-plan. A nil
 // injector makes this identical to ExecuteObserved.
 func ExecuteFaulty(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int) (*ExecStats, *gantt.Schedule, []batch.TaskID, error) {
-	e, err := newExecutor(st, plan, traced, tr, inj, round)
+	return ExecuteSpec(st, plan, traced, tr, inj, round, nil)
+}
+
+// ExecuteSpec is ExecuteFaulty plus a speculative-execution policy:
+// when a committed task's stretched execution would run past the
+// policy's elapsed-time threshold (the watchdog), a duplicate attempt
+// is forked on the best other compute node — preferring nodes whose
+// disks already cache the inputs, falling back to the cheapest
+// staging — the first finisher wins, and the loser is cancelled
+// deterministically (tag-3 burns for its occupied port time,
+// in-flight stagings rolled back through State). A nil or inactive
+// policy, or a nil injector, takes the exact ExecuteFaulty code
+// paths.
+func ExecuteSpec(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int, pol *spec.Policy) (*ExecStats, *gantt.Schedule, []batch.TaskID, error) {
+	e, err := newExecutor(st, plan, traced, tr, inj, round, pol)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -195,14 +223,30 @@ type executor struct {
 	// injection, the attempt number of the transfer being committed.
 	curTask    int
 	curAttempt int
+	// specCause, when non-empty, overrides the journaled cause of
+	// committed transfers (the twin-commit path sets it to "spec").
+	specCause string
+
+	// pol is the speculative-execution policy; nil or inactive (and
+	// any run without an injector) takes the exact pre-speculation
+	// code paths.
+	pol *spec.Policy
+	// drainLeft is the number of tasks still waiting behind the one
+	// being committed (the ECT heap's residue). The watchdog uses it
+	// to tell the drain phase — fewer waiting tasks than compute
+	// ports, so ports are about to idle — from the saturated middle of
+	// the sub-batch, where a duplicate could only displace useful
+	// work.
+	drainLeft int
 }
 
-func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int) (*executor, error) {
+func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faults.Injector, round int, pol *spec.Policy) (*executor, error) {
 	if len(plan.Tasks) == 0 {
 		return nil, fmt.Errorf("core: empty sub-batch plan")
 	}
 	p := st.P
-	e := &executor{st: st, plan: plan, tr: obs.OrNop(tr), round: round, curTask: -1}
+	e := &executor{st: st, plan: plan, tr: obs.OrNop(tr), round: round, curTask: -1, pol: pol,
+		drainLeft: len(plan.Tasks)}
 	if inj != nil {
 		e.inj = inj
 		e.crashRel = make([]float64, p.Platform.NumCompute())
@@ -295,6 +339,17 @@ type schedEnv struct {
 	// transfer about to commit (journaled commit mode only); the
 	// commit consumes and clears it.
 	alts []journal.SourceAlt
+	// floor is the earliest time any slot search may start (tentative
+	// twin planning only: a twin's transfers cannot begin before the
+	// watchdog forked it). Zero for every other env.
+	floor float64
+	// record, when non-nil, captures each tentatively scheduled
+	// transfer so the twin-commit path can replay the exact slots.
+	record *[]specOp
+	// dynamicOnly forces dynamic (min-TCT) source choice even under a
+	// pinned plan: twin staging is not part of the IP plan, and
+	// single-hop dynamic transfers keep the recorded ops replayable.
+	dynamicOnly bool
 }
 
 func newSchedEnv(e *executor, commit bool) *schedEnv {
@@ -369,7 +424,7 @@ func (v *schedEnv) ensureFile(f batch.FileID, dst int) (float64, error) {
 	v.visiting[key] = true
 	defer delete(v.visiting, key)
 
-	if v.e.plan.Pinned {
+	if v.e.plan.Pinned && !v.dynamicOnly {
 		if op, ok := v.e.planned[key]; ok {
 			if op.Kind == Remote || v.e.st.P.DisableReplication {
 				return v.remoteTransfer(f, dst)
@@ -452,6 +507,9 @@ func (v *schedEnv) remoteResources(home, dst int) []gantt.SlotSearcher {
 }
 
 func (v *schedEnv) multiSlot(after, dur float64, res ...gantt.SlotSearcher) float64 {
+	if after < v.floor {
+		after = v.floor
+	}
 	return gantt.MultiSlot(after, dur, res...)
 }
 
@@ -473,6 +531,9 @@ func (v *schedEnv) remoteTransfer(f batch.FileID, dst int) (float64, error) {
 	if v.e.linkTL != nil {
 		v.reserve(v.e.linkTL, start, dur, tagTransfer)
 	}
+	if v.record != nil {
+		*v.record = append(*v.record, specOp{file: f, src: -1, dst: dst, start: start, dur: dur})
+	}
 	v.setAvail(dst, f, start+dur)
 	return start + dur, nil
 }
@@ -487,9 +548,12 @@ func (v *schedEnv) emitStage(f batch.FileID, src, dst int, kind string, start, d
 		return
 	}
 	cause := "task"
-	if e.curTask < 0 {
+	switch {
+	case e.specCause != "":
+		cause = e.specCause
+	case e.curTask < 0:
 		cause = "prestage"
-	} else if e.curAttempt > 1 {
+	case e.curAttempt > 1:
 		cause = "retry"
 	}
 	alts := v.alts
@@ -548,6 +612,9 @@ func (v *schedEnv) replicaTransfer(f batch.FileID, src, dst int, srcAt float64) 
 	start := v.multiSlot(srcAt, dur, v.searcher(v.e.computeTL[src]), v.searcher(v.e.computeTL[dst]))
 	v.reserve(v.e.computeTL[src], start, dur, tagTransfer)
 	v.reserve(v.e.computeTL[dst], start, dur, tagTransfer)
+	if v.record != nil {
+		*v.record = append(*v.record, specOp{file: f, src: src, dst: dst, start: start, dur: dur})
+	}
 	v.setAvail(dst, f, start+dur)
 	return start + dur, nil
 }
@@ -814,7 +881,8 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 	for _, f := range task.Files {
 		bytes += e.st.P.Batch.FileSize(f)
 	}
-	execDur := float64(bytes)/e.st.P.Platform.Compute[c].LocalReadBW + task.Compute
+	baseDur := float64(bytes)/e.st.P.Platform.Compute[c].LocalReadBW + task.Compute
+	execDur := baseDur
 	stragFactor := 0.0
 	if commit && e.inj != nil {
 		// Stragglers stretch only the committed execution; ECT
@@ -832,6 +900,15 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 			j.Emit(journal.Event{T: e.base() + start, Kind: journal.KindFault, Round: e.round,
 				Fault: &journal.Fault{Class: journal.FaultStraggler, Node: c, Task: int(t), File: -1,
 					Factor: stragFactor, Detail: "execution stretched by straggling node"}})
+		}
+	}
+	if commit && e.specOn() {
+		// The watchdog may fork a duplicate attempt; when it does, the
+		// speculation path owns the whole commit (winner, cancellation,
+		// crash handling). When it does not fire, fall through to the
+		// exact pre-speculation path below.
+		if handled, end, err := e.trySpeculate(v, t, c, task, start, execDur, baseDur); handled || err != nil {
+			return end, err
 		}
 	}
 	if commit && e.inj != nil {
@@ -853,36 +930,472 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 		}
 	}
 	if commit {
-		e.computeTL[c].Reserve(start, execDur, tagExec)
-		e.st.Done[t] = true
-		e.stats.TasksRun++
-		for _, f := range task.Files {
-			e.st.Touch(c, f, e.base()+start+execDur)
-		}
-		if e.trace != nil {
-			inputs := make([]int, len(task.Files))
-			for i, f := range task.Files {
-				inputs[i] = int(f)
-			}
-			e.trace.Tasks = append(e.trace.Tasks, gantt.TaskEvent{Task: int(t), Node: c, Start: start, End: start + execDur, Inputs: inputs})
-		}
-		if e.tr.Enabled() {
-			b := e.base()
-			e.tr.SimSpan(obs.ComputeTrack(c), "exec", "task "+strconv.Itoa(int(t)),
-				b+start, b+start+execDur,
-				obs.A("task", int(t)), obs.A("node", c), obs.A("inputs", len(task.Files)))
-		}
-		if j := e.st.J; j.Enabled() {
-			b := e.base()
-			inputs := make([]int, len(task.Files))
-			for i, f := range task.Files {
-				inputs[i] = int(f)
-			}
-			j.Emit(journal.Event{T: b + start, Kind: journal.KindExec, Round: e.round, Exec: &journal.Exec{
-				Task: int(t), Node: c, Start: b + start, End: b + start + execDur, Inputs: inputs}})
-		}
+		e.commitExec(t, c, task, start, execDur)
 	}
 	return start + execDur, nil
+}
+
+// commitExec books task t's execution [start, start+dur) on node c
+// and records every side effect of a completed task: Done marking,
+// file touches, trace/journal emissions.
+func (e *executor) commitExec(t batch.TaskID, c int, task *batch.Task, start, dur float64) {
+	e.computeTL[c].Reserve(start, dur, tagExec)
+	e.st.Done[t] = true
+	e.stats.TasksRun++
+	for _, f := range task.Files {
+		e.st.Touch(c, f, e.base()+start+dur)
+	}
+	if e.trace != nil {
+		inputs := make([]int, len(task.Files))
+		for i, f := range task.Files {
+			inputs[i] = int(f)
+		}
+		e.trace.Tasks = append(e.trace.Tasks, gantt.TaskEvent{Task: int(t), Node: c, Start: start, End: start + dur, Inputs: inputs})
+	}
+	if e.tr.Enabled() {
+		b := e.base()
+		e.tr.SimSpan(obs.ComputeTrack(c), "exec", "task "+strconv.Itoa(int(t)),
+			b+start, b+start+dur,
+			obs.A("task", int(t)), obs.A("node", c), obs.A("inputs", len(task.Files)))
+	}
+	if j := e.st.J; j.Enabled() {
+		b := e.base()
+		inputs := make([]int, len(task.Files))
+		for i, f := range task.Files {
+			inputs[i] = int(f)
+		}
+		j.Emit(journal.Event{T: b + start, Kind: journal.KindExec, Round: e.round, Exec: &journal.Exec{
+			Task: int(t), Node: c, Start: b + start, End: b + start + dur, Inputs: inputs}})
+	}
+}
+
+// specOp is one tentatively scheduled twin transfer, recorded so the
+// winner-resolution path can replay the exact slot. src is -1 for a
+// remote (storage) transfer.
+type specOp struct {
+	file       batch.FileID
+	src, dst   int
+	start, dur float64
+}
+
+// twinPlan is a fully planned speculative duplicate attempt of one
+// task: the twin host, the transfers that stage its missing inputs,
+// and its execution window. end is the twin's projected completion.
+type twinPlan struct {
+	node               int
+	ops                []specOp
+	execStart, execDur float64
+	end                float64
+}
+
+// specOn reports whether this run forks speculative twins: it needs
+// both an active policy and an injector (without stragglers there is
+// nothing to mitigate, and thresholds derive from the injector's
+// straggler distribution).
+func (e *executor) specOn() bool { return e.pol.Active() && e.inj != nil }
+
+// plannedBytesOutstanding returns the bytes node j must still receive
+// for the missing inputs of its not-yet-done assigned tasks (each
+// file counted once). The twin capacity guard subtracts it from Free
+// so a forked duplicate can never eat disk space a later commit on j
+// relies on.
+func (e *executor) plannedBytesOutstanding(j int) int64 {
+	var sum int64
+	seen := make(map[batch.FileID]bool)
+	for _, t := range e.plan.Tasks {
+		if e.plan.Node[t] != j || e.st.Done[t] {
+			continue
+		}
+		for _, f := range e.st.P.Batch.Tasks[t].Files {
+			if e.avail[j][f] >= 0 || seen[f] {
+				continue
+			}
+			seen[f] = true
+			sum += e.st.P.Batch.FileSize(f)
+		}
+	}
+	return sum
+}
+
+// planTwin tentatively schedules a duplicate attempt of task t on
+// node j, forked at forkT while the primary still occupies node c
+// over [primStart, primStart+primDur). Everything happens on
+// overlays; the recorded ops let the winner-resolution path replay
+// exactly the slots that were planned. Twin staging is always dynamic
+// and single-hop (min-TCT over current holders and the storage home)
+// and floored at the fork time — a twin cannot move data before it
+// exists.
+func (e *executor) planTwin(t batch.TaskID, task *batch.Task, j, c int, forkT, primStart, primDur float64) twinPlan {
+	var ops []specOp
+	v := newSchedEnv(e, false)
+	v.floor = forkT
+	v.dynamicOnly = true
+	v.record = &ops
+	// The primary keeps executing while the twin races it: its full
+	// stretched window occupies node c in the twin's view, so copies
+	// sourced from c queue behind it.
+	v.reserve(e.computeTL[c], primStart, primDur, tagExec)
+	// A copy must complete before its source node crashes (the same
+	// rule survivingReplica applies on the retry path): block every
+	// crash-doomed node's port from its crash time onward, so copies
+	// that cannot fit before the crash price out of bestSource and a
+	// twin never sources data from a dead node.
+	const specFar = 1e18
+	for j2 := range e.computeTL {
+		if j2 == j {
+			continue
+		}
+		if ca := e.crashRel[j2]; !math.IsInf(ca, 1) {
+			if ca < 0 {
+				ca = 0
+			}
+			v.reserve(e.computeTL[j2], ca, specFar, tagFault)
+		}
+	}
+
+	arrival := 0.0
+	remaining := make([]batch.FileID, 0, len(task.Files))
+	for _, f := range task.Files {
+		if at, ok := v.availOn(j, f); ok {
+			if at > arrival {
+				arrival = at
+			}
+			continue
+		}
+		remaining = append(remaining, f)
+	}
+	for len(remaining) > 0 {
+		best := 0
+		bestTCT := math.Inf(1)
+		for i, f := range remaining {
+			if tct := v.probeTCT(f, j); tct < bestTCT {
+				bestTCT, best = tct, i
+			}
+		}
+		f := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		// Tentative scheduling cannot fail: the fault paths are
+		// commit-only.
+		at, _ := v.ensureFile(f, j)
+		if at > arrival {
+			arrival = at
+		}
+	}
+
+	var bytes int64
+	for _, f := range task.Files {
+		bytes += e.st.P.Batch.FileSize(f)
+	}
+	// The twin draws its own straggler luck through disjoint hash
+	// domains: forking never perturbs any primary-path draw.
+	dur := (float64(bytes)/e.st.P.Platform.Compute[j].LocalReadBW + task.Compute) * e.inj.SpecStraggler(int(t), e.round)
+	exStart := v.searcher(e.computeTL[j]).EarliestSlot(math.Max(arrival, forkT), dur)
+	return twinPlan{node: j, ops: ops, execStart: exStart, execDur: dur, end: exStart + dur}
+}
+
+// commitTwinOps replays the twin's recorded transfer ops against the
+// committed timelines. Ops finishing by stopT commit as real stagings
+// with journaled cause "spec" (the copies persist — even a losing
+// twin leaves useful replicas behind); ops in flight at stopT are
+// cancelled: the occupied port time burns as tag-fault reservations
+// and the staging is rolled back through State (AddFile then Unstage)
+// so the disk cache never shows a half-arrived file. Ops not yet
+// started at stopT vanish. Returns the burnt port-seconds and whether
+// any op had started.
+func (e *executor) commitTwinOps(bp twinPlan, stopT float64) (waste float64, started bool, err error) {
+	v := newSchedEnv(e, true)
+	for _, op := range bp.ops {
+		if op.start >= stopT {
+			continue
+		}
+		started = true
+		if op.start+op.dur <= stopT {
+			if op.src >= 0 {
+				_, err = v.commitReplica(op.file, op.src, op.dst, op.start, op.dur)
+			} else {
+				_, err = v.commitRemote(op.file, e.st.P.Batch.Files[op.file].Home, op.dst, op.start, op.dur)
+			}
+			if err != nil {
+				return waste, started, err
+			}
+			continue
+		}
+		cut := stopT - op.start
+		if op.src >= 0 {
+			e.computeTL[op.src].Reserve(op.start, cut, tagFault)
+		} else {
+			e.storageTL[e.st.P.Batch.Files[op.file].Home].Reserve(op.start, cut, tagFault)
+			if e.linkTL != nil {
+				e.linkTL.Reserve(op.start, cut, tagFault)
+			}
+		}
+		e.computeTL[op.dst].Reserve(op.start, cut, tagFault)
+		if err = e.st.AddFile(op.dst, op.file, e.base()+stopT); err != nil {
+			return waste, started, err
+		}
+		e.st.Unstage(op.dst, op.file)
+		waste += cut
+		if e.tr.Enabled() {
+			b := e.base()
+			e.tr.SimSpan(obs.ComputeTrack(op.dst), "fault", "cancelled spec stage file "+strconv.Itoa(int(op.file)),
+				b+op.start, b+stopT, obs.A("file", int(op.file)), obs.A("dst", op.dst))
+		}
+	}
+	return waste, started, nil
+}
+
+// trySpeculate is the watchdog hook on the commit path: when task t's
+// committed (straggler-stretched) execution runs past the policy
+// threshold, it forks a duplicate attempt on the best other node,
+// resolves the first-finisher race, commits the winner and cancels
+// the loser. It reports handled=false when the watchdog does not fire
+// (or no twin host fits), in which case the caller proceeds down the
+// exact pre-speculation path.
+func (e *executor) trySpeculate(v *schedEnv, t batch.TaskID, c int, task *batch.Task, start, execDur, baseDur float64) (handled bool, end float64, err error) {
+	thr := e.pol.Threshold(baseDur, e.inj.StragglerDist())
+	if math.IsInf(thr, 1) {
+		return false, 0, nil
+	}
+	// The watchdog only monitors attempts that actually start. A task
+	// whose node is already down at its start time never begins
+	// executing — detecting that is the failure detector's job, and
+	// the ordinary abort/requeue path handles it (letting the
+	// scheduler re-place the task instead of burning a threshold wait
+	// on a node known to be dead).
+	if e.crashRel[c] <= start {
+		return false, 0, nil
+	}
+	// The watchdog fires iff the primary has not reported completion
+	// by start+thr: either its stretched execution runs past the
+	// threshold, or its node crashes mid-run and the attempt never
+	// finishes at all (the watchdog cannot tell the two apart — a
+	// silent task is a silent task).
+	if primAlive := start+execDur <= e.crashRel[c]; primAlive && execDur <= thr {
+		return false, 0, nil
+	}
+	// Duplicating a merely-slow (but live) primary trades port time
+	// for latency: the pair always burns more total port time than
+	// letting the straggler finish, so mid-batch — when every port the
+	// twin could take still has useful work queued behind it — the
+	// trade loses and the watchdog stands down. It pays only in the
+	// drain phase (fewer waiting tasks than ports, the same
+	// near-completion gate Hadoop-style speculation uses), where the
+	// twin rides a port that would otherwise idle and a win shortens
+	// the sub-batch tail directly. Crash-killed primaries are exempt:
+	// their alternative is a requeue into a later sub-batch, which is
+	// strictly worse than any finite twin.
+	if start+execDur <= e.crashRel[c] && e.drainLeft >= len(e.computeTL) {
+		return false, 0, nil
+	}
+	forkT := start + thr
+
+	primEnd := start + execDur
+	primAlive := primEnd <= e.crashRel[c]
+
+	// A fork is only worthwhile if the twin can plausibly win the
+	// race. Conditioned on "still silent at the threshold", a live
+	// primary finishes uniformly within (thr, F·baseDur] — so a twin
+	// projected past the conditional mean (thr + F·baseDur)/2 is a bad
+	// bet: forking it would burn another node's port for an expected
+	// loss. This prices out twins on saturated ports or with expensive
+	// staging, leaving the forks that matter — stragglers in the batch
+	// tail, duplicated onto nodes that are idle and already cache the
+	// inputs. A dead primary never finishes, so any finite twin
+	// rescues the task and no bound applies.
+	limit := math.Inf(1)
+	if primAlive {
+		limit = start + (thr+e.inj.StragglerDist().Factor*baseDur)/2
+	}
+
+	// Pick the twin host: every other node is scored by the projected
+	// completion of a tentatively planned duplicate (inputs already
+	// cached count for free; missing ones stage dynamically, no
+	// earlier than the fork). Nodes the failure detector knows are
+	// dead at fork time, or whose disk cannot hold the missing inputs
+	// on top of what pending commits still need, are recorded as
+	// non-fitting candidates.
+	var cands []journal.Candidate
+	best := -1
+	var bp twinPlan
+	for j := range e.computeTL {
+		if j == c {
+			continue
+		}
+		if e.crashRel[j] <= forkT {
+			cands = append(cands, journal.Candidate{Node: j, Fits: false})
+			continue
+		}
+		var missing int64
+		for _, f := range task.Files {
+			if e.avail[j][f] < 0 {
+				missing += e.st.P.Batch.FileSize(f)
+			}
+		}
+		if missing > e.st.Free(j)-e.plannedBytesOutstanding(j) {
+			cands = append(cands, journal.Candidate{Node: j, Fits: false})
+			continue
+		}
+		tp := e.planTwin(t, task, j, c, forkT, start, execDur)
+		cands = append(cands, journal.Candidate{Node: j, Score: e.base() + tp.end, Fits: true})
+		if tp.end < limit && (best < 0 || tp.end < bp.end) {
+			best, bp = j, tp
+		}
+	}
+	if best < 0 {
+		return false, 0, nil // no twin host worth forking; the ordinary path decides the task's fate
+	}
+
+	b := e.base()
+	twinEnd := bp.end
+	twinAlive := twinEnd <= e.crashRel[best]
+	e.stats.SpecLaunches++
+	if j := e.st.J; j.Enabled() {
+		j.Emit(journal.Event{T: b + forkT, Kind: journal.KindSpecLaunch, Round: e.round, Spec: &journal.Spec{
+			Task: int(t), Node: c, Twin: best, Policy: e.pol.String(), Threshold: thr, Candidates: cands,
+			Reason: fmt.Sprintf("task %d still running on node %d %.4gs after start (threshold %.4gs, policy %s): forked twin on node %d",
+				t, c, execDur, thr, e.pol, best)}})
+	}
+	if e.tr.Enabled() {
+		e.tr.SimInstant(obs.ComputeTrack(c), "spec", "fork twin of task "+strconv.Itoa(int(t)), b+forkT,
+			obs.A("task", int(t)), obs.A("twin", best))
+	}
+
+	if twinAlive && (!primAlive || twinEnd < primEnd) {
+		// Twin wins: cancel the primary at the twin's finish (or at
+		// its own crash, whichever strikes first) and commit the twin
+		// as the task's real execution.
+		primStop := twinEnd
+		crashKilled := false
+		if e.crashRel[c] < primStop {
+			primStop, crashKilled = e.crashRel[c], true
+		}
+		if primStop > start {
+			e.computeTL[c].Reserve(start, primStop-start, tagFault)
+			e.stats.SpecWastedSeconds += primStop - start
+			if e.tr.Enabled() {
+				e.tr.SimSpan(obs.ComputeTrack(c), "fault", "cancelled task "+strconv.Itoa(int(t)),
+					b+start, b+primStop, obs.A("task", int(t)), obs.A("node", c))
+			}
+		}
+		if crashKilled {
+			e.crashSeen[c] = true
+		}
+		if !primAlive {
+			e.stats.SpecSaved++
+		}
+		e.specCause = "spec"
+		_, _, err := e.commitTwinOps(bp, math.Inf(1))
+		e.specCause = ""
+		if err != nil {
+			return true, 0, err
+		}
+		e.commitExec(t, best, task, bp.execStart, bp.execDur)
+		e.stats.SpecWins++
+		e.stats.SpecCancels++
+		if j := e.st.J; j.Enabled() {
+			pe := b + primEnd
+			if !primAlive {
+				pe = -1
+			}
+			why := "primary attempt cancelled: twin finished first"
+			if crashKilled {
+				why = "primary crashed; twin completed the task"
+			}
+			j.Emit(journal.Event{T: b + twinEnd, Kind: journal.KindSpecWin, Round: e.round, Spec: &journal.Spec{
+				Task: int(t), Node: c, Twin: best, Winner: "twin", PrimaryEnd: pe, TwinEnd: b + twinEnd,
+				Reason: fmt.Sprintf("twin on node %d finished at %.4g; primary on node %d cancelled", best, b+twinEnd, c)}})
+			j.Emit(journal.Event{T: b + primStop, Kind: journal.KindSpecCancel, Round: e.round, Spec: &journal.Spec{
+				Task: int(t), Node: c, Twin: best, Winner: "twin", WastedS: primStop - start, Reason: why}})
+		}
+		return true, twinEnd, nil
+	}
+
+	if primAlive {
+		// Primary wins (ties included): commit it exactly as the
+		// pre-speculation path would have, then cancel the twin at the
+		// primary's finish (or at the twin host's crash).
+		e.commitExec(t, c, task, start, execDur)
+		twinStop := primEnd
+		twinCrashed := e.crashRel[best] < twinStop
+		if twinCrashed {
+			twinStop = e.crashRel[best]
+		}
+		e.specCause = "spec"
+		waste, startedAny, err := e.commitTwinOps(bp, twinStop)
+		e.specCause = ""
+		if err != nil {
+			return true, 0, err
+		}
+		if bp.execStart < twinStop {
+			e.computeTL[best].Reserve(bp.execStart, twinStop-bp.execStart, tagFault)
+			waste += twinStop - bp.execStart
+			startedAny = true
+			if e.tr.Enabled() {
+				e.tr.SimSpan(obs.ComputeTrack(best), "fault", "cancelled twin of task "+strconv.Itoa(int(t)),
+					b+bp.execStart, b+twinStop, obs.A("task", int(t)), obs.A("node", best))
+			}
+		}
+		e.stats.SpecWastedSeconds += waste
+		if twinCrashed && startedAny {
+			e.crashSeen[best] = true
+		}
+		e.stats.SpecCancels++
+		if j := e.st.J; j.Enabled() {
+			te := b + twinEnd
+			if !twinAlive {
+				te = -1
+			}
+			why := "twin attempt cancelled: primary finished first"
+			if twinCrashed {
+				why = "twin host crashed; primary completed the task"
+			}
+			j.Emit(journal.Event{T: b + primEnd, Kind: journal.KindSpecWin, Round: e.round, Spec: &journal.Spec{
+				Task: int(t), Node: c, Twin: best, Winner: "primary", PrimaryEnd: b + primEnd, TwinEnd: te,
+				Reason: fmt.Sprintf("primary on node %d finished at %.4g; twin on node %d cancelled", c, b+primEnd, best)}})
+			j.Emit(journal.Event{T: b + twinStop, Kind: journal.KindSpecCancel, Round: e.round, Spec: &journal.Spec{
+				Task: int(t), Node: c, Twin: best, Winner: "primary", WastedS: waste, Reason: why}})
+		}
+		return true, primEnd, nil
+	}
+
+	// Both attempts die before finishing: burn both, cancel the twin,
+	// and hand the task back exactly once (the run loop re-queues on
+	// the single faultAbort, so a killed task with a twin in flight is
+	// never double-requeued).
+	crashAt := e.crashRel[c]
+	if crashAt > start {
+		e.computeTL[c].Reserve(start, crashAt-start, tagFault)
+		e.stats.WastedSeconds += crashAt - start
+		if e.tr.Enabled() {
+			e.tr.SimSpan(obs.ComputeTrack(c), "fault", "killed task "+strconv.Itoa(int(t)),
+				b+start, b+crashAt, obs.A("task", int(t)), obs.A("node", c))
+		}
+	}
+	e.crashSeen[c] = true
+	twinStop := e.crashRel[best]
+	e.specCause = "spec"
+	waste, startedAny, err := e.commitTwinOps(bp, twinStop)
+	e.specCause = ""
+	if err != nil {
+		return true, 0, err
+	}
+	if bp.execStart < twinStop {
+		e.computeTL[best].Reserve(bp.execStart, twinStop-bp.execStart, tagFault)
+		waste += twinStop - bp.execStart
+		startedAny = true
+	}
+	e.stats.SpecWastedSeconds += waste
+	if startedAny {
+		e.crashSeen[best] = true
+	}
+	e.stats.SpecCancels++
+	if j := e.st.J; j.Enabled() {
+		j.Emit(journal.Event{T: b + twinStop, Kind: journal.KindSpecCancel, Round: e.round, Spec: &journal.Spec{
+			Task: int(t), Node: c, Twin: best, Winner: "none", PrimaryEnd: -1, TwinEnd: -1, WastedS: waste,
+			Reason: "both attempts crash-killed; task re-queued"}})
+	}
+	return true, 0, &faultAbort{node: c, at: crashAt, crash: true,
+		reason: fmt.Sprintf("node %d crashed during task %d execution; speculative twin on node %d also died", c, t, best)}
 }
 
 // ectEntry is a heap entry with a cached earliest completion time.
@@ -969,6 +1482,7 @@ func (e *executor) run() (*ExecStats, error) {
 				continue
 			}
 		}
+		e.drainLeft = h.Len()
 		if _, err := e.scheduleTask(top.task, true); err != nil {
 			var fa *faultAbort
 			if errors.As(err, &fa) {

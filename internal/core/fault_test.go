@@ -203,6 +203,8 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		TransferFailures: 4, TransferRetries: 3, ReplicaRecoveries: 2,
 		Crashes: 1, Stragglers: 6, RequeuedTasks: 2, DegradedTasks: 1,
 		WastedSeconds: 12.125,
+		SpecLaunches:  5, SpecWins: 3, SpecCancels: 5, SpecSaved: 1,
+		SpecWastedSeconds: 7.25,
 	}
 	// Every field set: catch future additions that forget this test.
 	v := reflect.ValueOf(*in)
@@ -230,11 +232,15 @@ func TestExecStatsAddCommutative(t *testing.T) {
 	a := core.ExecStats{Makespan: 1, TasksRun: 2, RemoteTransfers: 3, RemoteBytes: 4,
 		ReplicaTransfers: 5, ReplicaBytes: 6, StorageBusy: 7, ComputeBusy: 8,
 		TransferFailures: 9, TransferRetries: 10, ReplicaRecoveries: 11,
-		Crashes: 12, Stragglers: 13, RequeuedTasks: 14, WastedSeconds: 15}
+		Crashes: 12, Stragglers: 13, RequeuedTasks: 14, WastedSeconds: 15,
+		SpecLaunches: 16, SpecWins: 17, SpecCancels: 18, SpecSaved: 19,
+		SpecWastedSeconds: 20}
 	b := core.ExecStats{Makespan: 100, TasksRun: 200, RemoteTransfers: 300, RemoteBytes: 400,
 		ReplicaTransfers: 500, ReplicaBytes: 600, StorageBusy: 700, ComputeBusy: 800,
 		TransferFailures: 900, TransferRetries: 1000, ReplicaRecoveries: 1100,
-		Crashes: 1200, Stragglers: 1300, RequeuedTasks: 1400, WastedSeconds: 1500}
+		Crashes: 1200, Stragglers: 1300, RequeuedTasks: 1400, WastedSeconds: 1500,
+		SpecLaunches: 1600, SpecWins: 1700, SpecCancels: 1800, SpecSaved: 1900,
+		SpecWastedSeconds: 2000}
 	ab, ba := a, b
 	ab.Add(&b)
 	ba.Add(&a)
@@ -282,6 +288,20 @@ func FuzzFaultPlan(f *testing.F) {
 			MaxTransferRetries: retries%8 + 1, TaskRetryBudget: budget % 16}
 		if plan.Validate() != nil {
 			t.Skip()
+		}
+		// The canonical spec string must reproduce the plan: Parse ∘
+		// Spec is the identity for enabled plans and nil (same
+		// behavior) for disabled ones.
+		rt, err := faults.Parse(plan.Spec())
+		if err != nil {
+			t.Fatalf("Parse rejected Spec() output %q: %v", plan.Spec(), err)
+		}
+		if plan.Enabled() {
+			if !reflect.DeepEqual(plan, rt) {
+				t.Fatalf("Spec round-trip changed the plan:\n  in  %#v\n  out %#v", plan, rt)
+			}
+		} else if rt != nil {
+			t.Fatalf("disabled plan round-tripped to non-nil %#v", rt)
 		}
 		s := schedulers()[0]
 		a, err := core.RunWith(p, s, core.RunOptions{Checked: true, Faults: plan})

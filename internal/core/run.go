@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/spec"
 )
 
 // RunStatus reports how a batch run ended.
@@ -59,6 +60,14 @@ type Result struct {
 	// was exhausted; they are not executed and not counted in TasksRun.
 	DegradedTasks int
 	WastedSeconds float64
+
+	// Speculative-execution accounting, all zero unless RunOptions.Spec
+	// forked duplicate attempts.
+	SpecLaunches      int
+	SpecWins          int
+	SpecCancels       int
+	SpecSaved         int
+	SpecWastedSeconds float64
 }
 
 // SchedulingMSPerTask returns the paper's Figure 6(b) metric.
@@ -106,6 +115,11 @@ type RunOptions struct {
 	// with per-task budgets). Nil or disabled plans take the fault-free
 	// fast path, byte-identical to a run without this option.
 	Faults *faults.FaultPlan
+	// Spec, when non-nil and active (and Faults enabled), forks
+	// speculative duplicate attempts of straggling executions:
+	// first finisher wins, the loser is cancelled deterministically.
+	// Nil or spec.Never takes the exact non-speculative code paths.
+	Spec *spec.Policy
 }
 
 // RunWith is Run with explicit options.
@@ -252,7 +266,7 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 		clockBefore := st.Clock
 		endExec := tr.Span(obs.TrackSched, "phase", "execute",
 			obs.A("tasks", len(plan.Tasks)))
-		stats, sched, requeued, err := ExecuteFaulty(st, plan, checked, tr, inj, res.SubBatches)
+		stats, sched, requeued, err := ExecuteSpec(st, plan, checked, tr, inj, res.SubBatches, opt.Spec)
 		if err == nil && checked {
 			err = sched.Err()
 		}
@@ -326,7 +340,19 @@ func runFrom(st *State, s Scheduler, pending []batch.TaskID, opt RunOptions) (*R
 	res.Stragglers = agg.Stragglers
 	res.RequeuedTasks = agg.RequeuedTasks
 	res.WastedSeconds = agg.WastedSeconds
+	res.SpecLaunches = agg.SpecLaunches
+	res.SpecWins = agg.SpecWins
+	res.SpecCancels = agg.SpecCancels
+	res.SpecSaved = agg.SpecSaved
+	res.SpecWastedSeconds = agg.SpecWastedSeconds
 	res.Evictions = st.Evictions
+	if inj != nil && opt.Spec.Active() {
+		ob.Metrics.Count("core.spec.launches", int64(res.SpecLaunches))
+		ob.Metrics.Count("core.spec.wins", int64(res.SpecWins))
+		ob.Metrics.Count("core.spec.cancels", int64(res.SpecCancels))
+		ob.Metrics.Count("core.spec.saved", int64(res.SpecSaved))
+		ob.Metrics.SetGauge("core.spec.wasted_s", res.SpecWastedSeconds)
+	}
 	if inj != nil {
 		ob.Metrics.Count("core.fault.transfer_failures", int64(res.TransferFailures))
 		ob.Metrics.Count("core.fault.transfer_retries", int64(res.TransferRetries))

@@ -146,6 +146,20 @@ func (s *State) Evict(n int, f batch.FileID) {
 	s.Evictions++
 }
 
+// Unstage rolls back an in-flight staging of file f onto node n: the
+// copy is removed without counting an Eviction (eviction is a
+// scheduling decision; a cancelled speculative transfer is not).
+// Used when a speculative twin loses the first-finisher race while
+// its inputs are still arriving.
+func (s *State) Unstage(n int, f batch.FileID) {
+	if !s.holds[n][f] {
+		return
+	}
+	s.holds[n][f] = false
+	s.used[n] -= s.P.Batch.FileSize(f)
+	s.lastUse[n][f] = 0
+}
+
 // DropNode models a node crash: every file copy on compute node n is
 // lost and its disk empties. Crash losses are not counted as
 // Evictions — eviction is a scheduling decision, a crash is not.

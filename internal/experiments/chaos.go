@@ -7,47 +7,88 @@ import (
 	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
-// chaosScenarios is the fault matrix swept by Chaos: the fault-free
-// control plus the built-in mild and harsh presets. Every cell of one
-// scenario row shares the identical FaultPlan seed, so the four
+// chaosRows is the fault × speculation matrix swept by Chaos: the
+// fault-free control plus the built-in mild and harsh presets, each
+// fault scenario with and without speculative task replication. Every
+// cell of one row shares the identical FaultPlan seed, so the four
 // schedulers face the same failure sequence and the comparison
-// isolates how each scheme's placement and replication absorb it.
-var chaosScenarios = []string{"none", "mild", "harsh"}
+// isolates how each scheme's placement, replication and speculation
+// absorb it. The none+spec row doubles as a control: without an
+// injector the policy is inert and must reproduce the fault-free row
+// exactly.
+var chaosRows = []struct {
+	name     string
+	scenario string
+	spec     bool
+}{
+	{"none", "none", false},
+	{"none+spec", "none", true},
+	{"mild", "mild", false},
+	{"mild+spec", "mild", true},
+	{"harsh", "harsh", false},
+	{"harsh+spec", "harsh", true},
+}
 
-// Chaos runs the fault-tolerance matrix (scenario × scheduler) on a
-// high-overlap IMAGE batch and reports three tables: absolute batch
-// execution time, makespan degradation relative to the fault-free
-// control, and the recovery activity behind it (failures, retries,
-// replica-served recoveries, crashes, re-queues, wasted port time).
-// Like every figure, cells are independent and merged in fixed order,
-// so Workers never changes the rows.
+// chaosSpecPolicy is the speculation arm's policy:
+// single-fork-at-t* with the fork quantile just past the harsh
+// preset's non-straggler mass (1−p = 0.85). That is the earliest
+// point at which a silent task is distinguishable from an on-time
+// one, and under fault injection earlier is strictly better: a
+// crash-killed primary is rescued sooner, and a drain-phase twin
+// forked earlier wins against more of the slowdown tail.
+func chaosSpecPolicy() *spec.Policy { return &spec.Policy{Kind: spec.SingleFork, Quantile: 0.855} }
+
+// Chaos runs the fault-tolerance matrix (scenario × speculation ×
+// scheduler) on a high-overlap IMAGE batch and reports three tables:
+// absolute batch execution time, makespan degradation relative to the
+// fault-free control with the wasted compute each cell burnt, and the
+// recovery/speculation activity behind the harsh rows. Like every
+// figure, cells are independent and merged in fixed order, so Workers
+// never changes the rows.
 func Chaos(o Options) ([]*report.Table, error) {
 	o = o.withDefaults()
 	n := o.tasks(100)
 	ss := schedulerSet(o)
-	results := make([][]*core.Result, len(chaosScenarios))
+	results := make([][]*core.Result, len(chaosRows))
 	for r := range results {
 		results[r] = make([]*core.Result, len(ss))
 	}
-	err := forEachCellObserved(o.Workers, len(chaosScenarios)*len(ss), o.Obs, func(i int, ob core.Observer) error {
+	err := forEachCellObserved(o.Workers, len(chaosRows)*len(ss), o.Obs, func(i int, ob core.Observer) error {
 		r, c := i/len(ss), i%len(ss)
-		fp, err := faults.Parse(chaosScenarios[r])
+		row := chaosRows[r]
+		fp, err := faults.Parse(row.scenario)
 		if err != nil {
 			return err
 		}
 		if fp != nil {
-			fp.Seed = o.Seed + 1000 // identical failure sequence for every scheduler
+			fp.Seed = o.Seed + 1000 // identical failure sequence for every scheduler and spec arm
 		}
-		b, err := makeImage(o, n, 4, workload.HighOverlap)
+		var sp *spec.Policy
+		if row.spec {
+			sp = chaosSpecPolicy()
+		}
+		// Chaos uses a compute-heavy IMAGE variant (4000× the paper's
+		// 0.001 s/MB): with paper-scale tasks the whole batch finishes
+		// in seconds, inside which the harsh preset's 4000 s MTTF never
+		// fires — the matrix would only ever exercise link faults and
+		// stragglers. Stretching compute pushes the makespan into the
+		// crash regime so the recovery paths (requeue, replica
+		// recovery, speculative rescue) all carry weight in the rows.
+		b, err := workload.Image(workload.ImageConfig{
+			NumTasks: n, Overlap: workload.HighOverlap, NumStorage: 4,
+			Seed:          o.Seed + int64(workload.HighOverlap)*7,
+			ComputeFactor: 4000 * platform.PaperComputeFactor,
+		})
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, 0)}, ss[c].make(), ob, fp)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(12, 4, 0)}, ss[c].make(), ob, fp, sp)
 		if err != nil {
-			return fmt.Errorf("chaos %s/%s: %w", chaosScenarios[r], ss[c].name, err)
+			return fmt.Errorf("chaos %s/%s: %w", row.name, ss[c].name, err)
 		}
 		results[r][c] = res
 		return nil
@@ -57,27 +98,27 @@ func Chaos(o Options) ([]*report.Table, error) {
 	}
 
 	mk := &report.Table{
-		Title:   "Chaos: batch execution time (s) under fault scenarios (IMAGE high overlap)",
+		Title:   "Chaos: batch execution time (s) under fault × speculation scenarios (IMAGE high overlap)",
 		XLabel:  "scenario",
 		YLabel:  "batch execution time (s)",
 		Columns: columnNames(ss),
 	}
-	for r, sc := range chaosScenarios {
+	for r, row := range chaosRows {
 		vals := make([]float64, len(ss))
 		for c := range ss {
 			vals[c] = results[r][c].Makespan
 		}
-		mk.AddRow(sc, vals...)
+		mk.AddRow(row.name, vals...)
 	}
 
 	deg := &report.Table{
-		Title:   "Chaos: makespan degradation vs fault-free (%)",
+		Title:   "Chaos: makespan degradation vs fault-free (%) and wasted compute (s)",
 		XLabel:  "scenario",
-		YLabel:  "degradation (%)",
+		YLabel:  "degradation (%) / wasted (s)",
 		Columns: columnNames(ss),
 	}
-	for r, sc := range chaosScenarios {
-		if sc == "none" {
+	for r, row := range chaosRows {
+		if row.scenario == "none" {
 			continue
 		}
 		vals := make([]float64, len(ss))
@@ -87,37 +128,66 @@ func Chaos(o Options) ([]*report.Table, error) {
 				vals[c] = 100 * (results[r][c].Makespan/base - 1)
 			}
 		}
-		deg.AddRow(sc, vals...)
+		deg.AddRow(row.name, vals...)
+	}
+	// Wasted compute lives in the same table so the degradation win of
+	// a speculation arm is read against the port time it burnt: failed
+	// and cancelled primary attempts plus cancelled twins.
+	for r, row := range chaosRows {
+		if row.scenario == "none" {
+			continue
+		}
+		vals := make([]float64, len(ss))
+		for c := range ss {
+			vals[c] = results[r][c].WastedSeconds + results[r][c].SpecWastedSeconds
+		}
+		deg.AddRow(row.name+" wasted_s", vals...)
 	}
 
 	rec := &report.Table{
-		Title:   "Chaos: recovery activity (harsh scenario)",
+		Title:   "Chaos: recovery and speculation activity (harsh rows)",
 		XLabel:  "scheduler",
 		YLabel:  "count / seconds",
-		Columns: []string{"XferFail", "Retries", "ReplicaRecov", "Crashes", "Stragglers", "Requeued", "Degraded", "Wasted_s"},
+		Columns: []string{"XferFail", "Retries", "ReplicaRecov", "Crashes", "Stragglers", "Requeued", "Degraded", "Wasted_s", "SpecLaunch", "SpecWin", "SpecCancel", "SpecSaved", "SpecWasted_s"},
 	}
-	harsh := results[len(chaosScenarios)-1]
 	degradedCells := 0
-	for c, spec := range ss {
-		res := harsh[c]
-		rec.AddRow(spec.name,
-			float64(res.TransferFailures), float64(res.TransferRetries),
-			float64(res.ReplicaRecoveries), float64(res.Crashes),
-			float64(res.Stragglers), float64(res.RequeuedTasks),
-			float64(res.DegradedTasks), res.WastedSeconds)
-		for r := range chaosScenarios {
+	for r, row := range chaosRows {
+		if row.scenario != "harsh" {
+			continue
+		}
+		for c, sc := range ss {
+			res := results[r][c]
+			rec.AddRow(sc.name+specSuffix(row.spec),
+				float64(res.TransferFailures), float64(res.TransferRetries),
+				float64(res.ReplicaRecoveries), float64(res.Crashes),
+				float64(res.Stragglers), float64(res.RequeuedTasks),
+				float64(res.DegradedTasks), res.WastedSeconds,
+				float64(res.SpecLaunches), float64(res.SpecWins),
+				float64(res.SpecCancels), float64(res.SpecSaved), res.SpecWastedSeconds)
+		}
+	}
+	for r := range chaosRows {
+		for c := range ss {
 			if results[r][c].Status == core.StatusDegraded {
 				degradedCells++
 			}
 		}
 	}
-	seedNote := fmt.Sprintf("identical fault seed %d per scenario across all schedulers; presets: mild (%s), harsh (%s)",
-		o.Seed+1000, mustSpec("mild"), mustSpec("harsh"))
+	seedNote := fmt.Sprintf("identical fault seed %d per scenario across all schedulers; presets: mild (%s), harsh (%s); spec arm policy %s",
+		o.Seed+1000, mustSpec("mild"), mustSpec("harsh"), chaosSpecPolicy())
 	mk.Notes = append(mk.Notes, seedNote)
 	if degradedCells > 0 {
 		deg.Notes = append(deg.Notes, fmt.Sprintf("%d cell(s) ended Degraded (retry budgets exhausted); their makespans cover only the tasks that ran", degradedCells))
 	}
 	return []*report.Table{mk, deg, rec}, nil
+}
+
+// specSuffix tags speculation-arm rows of the activity table.
+func specSuffix(on bool) string {
+	if on {
+		return "+spec"
+	}
+	return ""
 }
 
 // mustSpec renders a built-in preset's canonical spec string.

@@ -27,6 +27,7 @@ import (
 	"repro/internal/sched/ipsched"
 	"repro/internal/sched/jdp"
 	"repro/internal/sched/minmin"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -59,6 +60,10 @@ type Options struct {
 	// (nil = fault-free). The Chaos experiment ignores this and runs
 	// its own scenario sweep.
 	Faults *faults.FaultPlan
+	// Spec forks speculative duplicates of straggling executions in
+	// every figure run (nil = no speculation). The Chaos experiment
+	// ignores this and runs its own {no-spec, spec} sweep.
+	Spec *spec.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -84,13 +89,14 @@ func (o Options) tasks(full int) int {
 }
 
 // run executes one (problem, scheduler) pair under the cell's
-// observer (zero Observer = unobserved, same schedule either way) and
-// optional fault scenario (nil = fault-free fast path).
-func run(p *core.Problem, s core.Scheduler, ob core.Observer, fp *faults.FaultPlan) (*core.Result, error) {
+// observer (zero Observer = unobserved, same schedule either way),
+// optional fault scenario (nil = fault-free fast path), and optional
+// speculation policy (nil = no duplicate attempts).
+func run(p *core.Problem, s core.Scheduler, ob core.Observer, fp *faults.FaultPlan, sp *spec.Policy) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return core.RunWith(p, s, core.RunOptions{Obs: ob, Faults: fp})
+	return core.RunWith(p, s, core.RunOptions{Obs: ob, Faults: fp, Spec: sp})
 }
 
 // schedSpec names one scheduler column and builds fresh instances of
@@ -174,7 +180,7 @@ func overlapFigure(o Options, app string, pf func() *platform.Platform,
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make(), ob, o.Faults)
+		res, err := run(&core.Problem{Batch: b, Platform: pf()}, ss[c].make(), ob, o.Faults, o.Spec)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%v: %w", app, ss[c].name, ov, err)
 		}
@@ -269,7 +275,7 @@ func Fig5a(o Options) ([]*report.Table, error) {
 		s := bipart.New(o.Seed + 300)
 		s.Workers = o.Workers
 		s.Trace = o.Obs.Trace
-		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s, ob, o.Faults)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.OSUMED(8, 4, 0), DisableReplication: c == 1}, s, ob, o.Faults, o.Spec)
 		if err != nil {
 			return err
 		}
@@ -332,7 +338,7 @@ func Fig5b(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make(), ob, o.Faults)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(4, 4, disk)}, ss[c].make(), ob, o.Faults, o.Spec)
 		if err != nil {
 			return fmt.Errorf("fig5b %s n=%d: %w", ss[c].name, n, err)
 		}
@@ -392,7 +398,7 @@ func Fig6(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make(), ob, o.Faults)
+		res, err := run(&core.Problem{Batch: b, Platform: platform.XIO(C, 8, 0)}, ss[c].make(), ob, o.Faults, o.Spec)
 		if err != nil {
 			return fmt.Errorf("fig6 %s C=%d: %w", ss[c].name, C, err)
 		}

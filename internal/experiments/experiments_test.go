@@ -77,15 +77,23 @@ func TestChaosQuick(t *testing.T) {
 		t.Fatalf("panels = %d, want 3 (makespan, degradation, recovery)", len(tables))
 	}
 	mk, deg, rec := tables[0], tables[1], tables[2]
-	if len(mk.Rows) != 3 || len(deg.Rows) != 2 || len(rec.Rows) != len(mk.Columns) {
+	// 6 scenario×spec rows; degradation carries a wasted-compute row
+	// per faulty scenario; recovery covers harsh and harsh+spec.
+	if len(mk.Rows) != 6 || len(deg.Rows) != 8 || len(rec.Rows) != 2*len(mk.Columns) {
 		t.Fatalf("table shapes: mk=%d deg=%d rec=%d", len(mk.Rows), len(deg.Rows), len(rec.Rows))
 	}
 	// Faults cost time: each scheduler's harsh makespan must exceed its
 	// fault-free control, and some recovery activity must be recorded.
+	// The none+spec control must reproduce the fault-free row exactly —
+	// without an injector the speculation policy is inert.
 	for c := range mk.Columns {
-		if mk.Rows[2].Values[c] <= mk.Rows[0].Values[c] {
+		if mk.Rows[4].Values[c] <= mk.Rows[0].Values[c] {
 			t.Errorf("%s: harsh makespan %g not above fault-free %g",
-				mk.Columns[c], mk.Rows[2].Values[c], mk.Rows[0].Values[c])
+				mk.Columns[c], mk.Rows[4].Values[c], mk.Rows[0].Values[c])
+		}
+		if mk.Rows[1].Values[c] != mk.Rows[0].Values[c] {
+			t.Errorf("%s: none+spec makespan %g differs from fault-free %g",
+				mk.Columns[c], mk.Rows[1].Values[c], mk.Rows[0].Values[c])
 		}
 	}
 	var activity float64

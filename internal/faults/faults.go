@@ -141,7 +141,53 @@ func (p *FaultPlan) Validate() error {
 	if p.BackoffBase < 0 || p.BackoffCap < 0 {
 		return fmt.Errorf("faults: backoff fields must be >= 0")
 	}
+	// Negative retry counts have no meaning of their own (WithDefaults
+	// treats <= 0 as unset), and permitting them would make Spec()
+	// non-canonical: -4 and 0 are the same plan with different specs.
+	if p.MaxTransferRetries < 0 || p.TaskRetryBudget < 0 {
+		return fmt.Errorf("faults: retry counts must be >= 0")
+	}
 	return nil
+}
+
+// StragglerDist is the marginal distribution of a plan's execution
+// slowdown factor: 1 (no slowdown) with probability 1−Prob, otherwise
+// uniform on [1, Factor]. Speculation policies derive their watchdog
+// thresholds from its quantiles.
+type StragglerDist struct {
+	Prob   float64
+	Factor float64
+}
+
+// Quantile returns the q-quantile of the slowdown factor (q clamped
+// to [0, 1]). Degenerate distributions (no stragglers, or factor ≤ 1)
+// answer 1 for every q. For q above the no-slowdown mass the quantile
+// interpolates linearly through the uniform tail:
+//
+//	Quantile(q) = 1 + (Factor−1) · (q − (1−Prob)) / Prob.
+func (d StragglerDist) Quantile(q float64) float64 {
+	if d.Prob <= 0 || d.Factor <= 1 {
+		return 1
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if q <= 1-d.Prob {
+		return 1
+	}
+	return 1 + (d.Factor-1)*(q-(1-d.Prob))/d.Prob
+}
+
+// StragglerDist returns the plan's slowdown distribution (zero-valued
+// for nil plans).
+func (p *FaultPlan) StragglerDist() StragglerDist {
+	if p == nil {
+		return StragglerDist{}
+	}
+	return StragglerDist{Prob: p.StragglerProb, Factor: p.StragglerFactor}
 }
 
 // Presets returns the names of the built-in scenarios, sorted.
@@ -174,8 +220,9 @@ var presets = map[string]FaultPlan{
 
 // Parse builds a FaultPlan from a CLI scenario spec: either a preset
 // name ("none", "mild", "harsh"), a comma-separated key=value list
-// (seed, mttf, linkp, stragp, stragf, retries, budget, backoff, cap),
-// or a preset followed by overrides ("harsh,seed=7,linkp=0.2").
+// (seed, mttf, pernode, linkp, stragp, stragf, retries, budget,
+// backoff, cap — pernode takes colon-separated per-node MTTFs), or a
+// preset followed by overrides ("harsh,seed=7,linkp=0.2").
 // The empty string parses to a nil (disabled) plan.
 func Parse(spec string) (*FaultPlan, error) {
 	spec = strings.TrimSpace(spec)
@@ -222,6 +269,16 @@ func Parse(spec string) (*FaultPlan, error) {
 				return nil, fmt.Errorf("faults: bad budget %q: %v", val, err)
 			}
 			p.TaskRetryBudget = n
+		case "pernode":
+			var ms []float64
+			for _, part := range strings.Split(val, ":") {
+				m, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad pernode entry %q: %v", part, err)
+				}
+				ms = append(ms, m)
+			}
+			p.PerNodeMTTF = ms
 		case "mttf", "linkp", "stragp", "stragf", "backoff", "cap":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
@@ -242,7 +299,7 @@ func Parse(spec string) (*FaultPlan, error) {
 				p.BackoffCap = f
 			}
 		default:
-			return nil, fmt.Errorf("faults: unknown spec key %q (want seed, mttf, linkp, stragp, stragf, retries, budget, backoff, cap)", key)
+			return nil, fmt.Errorf("faults: unknown spec key %q (want seed, mttf, pernode, linkp, stragp, stragf, retries, budget, backoff, cap)", key)
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -251,8 +308,14 @@ func Parse(spec string) (*FaultPlan, error) {
 	return &p, nil
 }
 
-// String renders the plan as a canonical spec string Parse accepts.
-func (p *FaultPlan) String() string {
+// Spec renders the plan as its canonical spec string: Parse(p.Spec())
+// yields a plan identical to p for every enabled plan (disabled plans
+// render as "none", which parses to nil — behaviorally the same
+// injector). Each non-zero field is emitted independently: the old
+// String dropped StragglerFactor whenever StragglerProb was zero and
+// always dropped the backoff shape, so round-tripping a partially-set
+// plan silently changed it.
+func (p *FaultPlan) Spec() string {
 	if !p.Enabled() {
 		return "none"
 	}
@@ -261,11 +324,23 @@ func (p *FaultPlan) String() string {
 	if p.NodeMTTF > 0 {
 		fmt.Fprintf(&b, ",mttf=%g", p.NodeMTTF)
 	}
+	if len(p.PerNodeMTTF) > 0 {
+		b.WriteString(",pernode=")
+		for i, m := range p.PerNodeMTTF {
+			if i > 0 {
+				b.WriteByte(':')
+			}
+			fmt.Fprintf(&b, "%g", m)
+		}
+	}
 	if p.LinkFailProb > 0 {
 		fmt.Fprintf(&b, ",linkp=%g", p.LinkFailProb)
 	}
 	if p.StragglerProb > 0 {
-		fmt.Fprintf(&b, ",stragp=%g,stragf=%g", p.StragglerProb, p.StragglerFactor)
+		fmt.Fprintf(&b, ",stragp=%g", p.StragglerProb)
+	}
+	if p.StragglerFactor > 0 {
+		fmt.Fprintf(&b, ",stragf=%g", p.StragglerFactor)
 	}
 	if p.MaxTransferRetries > 0 {
 		fmt.Fprintf(&b, ",retries=%d", p.MaxTransferRetries)
@@ -273,5 +348,14 @@ func (p *FaultPlan) String() string {
 	if p.TaskRetryBudget > 0 {
 		fmt.Fprintf(&b, ",budget=%d", p.TaskRetryBudget)
 	}
+	if p.BackoffBase > 0 {
+		fmt.Fprintf(&b, ",backoff=%g", p.BackoffBase)
+	}
+	if p.BackoffCap > 0 {
+		fmt.Fprintf(&b, ",cap=%g", p.BackoffCap)
+	}
 	return b.String()
 }
+
+// String renders the plan as a spec string Parse accepts.
+func (p *FaultPlan) String() string { return p.Spec() }

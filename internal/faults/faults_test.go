@@ -3,6 +3,7 @@ package faults
 import (
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -173,5 +174,104 @@ func TestStragglerBounds(t *testing.T) {
 	off := NewInjector(&FaultPlan{Seed: 3, LinkFailProb: 0.1}, 1)
 	if off.Straggler(0, 0) != 1 {
 		t.Fatal("straggler fired with StragglerProb 0")
+	}
+}
+
+// TestSpecRoundTrip: Parse ∘ Spec must be the identity for every
+// enabled plan — including partially-set straggler fields and backoff
+// shapes, which the pre-fix renderer silently dropped — and "none"
+// (parsing to nil) for disabled ones.
+func TestSpecRoundTrip(t *testing.T) {
+	plans := []FaultPlan{
+		{Seed: 9, NodeMTTF: 4000, LinkFailProb: 0.1, StragglerProb: 0.15, StragglerFactor: 4},
+		// Factor without probability: disabled (no straggler ever
+		// fires), must render as none.
+		{Seed: 1, StragglerFactor: 4},
+		// Probability without factor: enabled, and the zero factor
+		// must survive the round trip rather than vanish.
+		{Seed: 2, StragglerProb: 0.5},
+		// Backoff shape without any failure rate is disabled.
+		{Seed: 3, BackoffBase: 0.25, BackoffCap: 10},
+		// Backoff shape with a failure rate must survive.
+		{Seed: 4, LinkFailProb: 0.3, BackoffBase: 0.25, BackoffCap: 10},
+		{Seed: 5, PerNodeMTTF: []float64{0, 800, 0, 120.5}},
+		{Seed: 6, NodeMTTF: 1e5, MaxTransferRetries: 7, TaskRetryBudget: 2},
+	}
+	var names []string
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		plans = append(plans, presets[name])
+	}
+	for _, p := range plans {
+		p := p
+		spec := p.Spec()
+		rt, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse rejected Spec() output %q for %+v: %v", spec, p, err)
+			continue
+		}
+		switch {
+		case !p.Enabled():
+			if spec != "none" || rt != nil {
+				t.Errorf("disabled plan %+v rendered %q, parsed %+v; want none/nil", p, spec, rt)
+			}
+		case rt == nil || !reflect.DeepEqual(p, *rt):
+			t.Errorf("round trip changed plan:\n  in   %+v\n  spec %q\n  out  %+v", p, spec, rt)
+		}
+	}
+}
+
+// TestStragglerDistQuantile pins the slowdown CDF inversion the
+// speculation policies build their thresholds from.
+func TestStragglerDistQuantile(t *testing.T) {
+	harsh := StragglerDist{Prob: 0.15, Factor: 4}
+	cases := []struct {
+		d    StragglerDist
+		q    float64
+		want float64
+	}{
+		{harsh, -1, 1},             // clamped below
+		{harsh, 0, 1},              // all of the non-straggler mass
+		{harsh, 0.85, 1},           // exactly the non-straggler mass
+		{harsh, 0.925, 2.5},        // halfway up the uniform tail
+		{harsh, 1, 4},              // the full factor
+		{harsh, 2, 4},              // clamped above
+		{StragglerDist{}, 0.99, 1}, // no stragglers
+		{StragglerDist{Prob: 0.5, Factor: 1}, 0.99, 1}, // degenerate factor
+		{StragglerDist{Prob: 1, Factor: 3}, 0.5, 2},    // pure uniform
+	}
+	for _, c := range cases {
+		if got := c.d.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) of %+v = %g, want %g", c.q, c.d, got, c.want)
+		}
+	}
+}
+
+// TestSpecStragglerIndependentOfPrimary: the twin's slowdown draw is
+// bounded like the primary's, deterministic, and hashed through a
+// disjoint domain — so consulting it never replays the primary's luck.
+func TestSpecStragglerIndependentOfPrimary(t *testing.T) {
+	in := NewInjector(&FaultPlan{Seed: 3, StragglerProb: 1, StragglerFactor: 4}, 1)
+	differs := false
+	for task := 0; task < 200; task++ {
+		f := in.SpecStraggler(task, 0)
+		if f < 1 || f > 4 {
+			t.Fatalf("spec straggler factor %g outside [1,4]", f)
+		}
+		if f != in.SpecStraggler(task, 0) {
+			t.Fatalf("SpecStraggler(task=%d) not deterministic", task)
+		}
+		if f != in.Straggler(task, 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("SpecStraggler mirrors Straggler on every identity; domains are not disjoint")
+	}
+	if off := NewInjector(&FaultPlan{Seed: 3, LinkFailProb: 0.1}, 1); off.SpecStraggler(0, 0) != 1 {
+		t.Fatal("spec straggler fired with StragglerProb 0")
 	}
 }

@@ -53,6 +53,11 @@ const (
 	kindXferFrac
 	kindStragHit
 	kindStragFactor
+	// Speculative-twin domains, appended so every pre-existing draw
+	// keeps its value: a run that never forks twins is bit-identical
+	// to one under an injector without these domains.
+	kindSpecHit
+	kindSpecFactor
 )
 
 // splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer
@@ -157,6 +162,30 @@ func (in *Injector) Straggler(task, round int) float64 {
 		return 1
 	}
 	return 1 + (in.plan.StragglerFactor-1)*in.u01(kindStragFactor, uint64(task), uint64(round))
+}
+
+// SpecStraggler returns the slowdown multiplier (>= 1) for the
+// speculative twin attempt of one task in one sub-batch round. The
+// identity is (task, round) like Straggler's, but hashed through
+// disjoint domains: the twin's luck is independent of the primary's,
+// and consulting it never perturbs any primary-path draw (launching a
+// twin cannot change what happens to tasks that are not speculated).
+func (in *Injector) SpecStraggler(task, round int) float64 {
+	if in == nil || in.plan.StragglerProb <= 0 || in.plan.StragglerFactor <= 1 {
+		return 1
+	}
+	if in.u01(kindSpecHit, uint64(task), uint64(round)) >= in.plan.StragglerProb {
+		return 1
+	}
+	return 1 + (in.plan.StragglerFactor-1)*in.u01(kindSpecFactor, uint64(task), uint64(round))
+}
+
+// StragglerDist returns the compiled plan's slowdown distribution.
+func (in *Injector) StragglerDist() StragglerDist {
+	if in == nil {
+		return StragglerDist{}
+	}
+	return in.plan.StragglerDist()
 }
 
 // Backoff returns the capped exponential delay before retry attempt a

@@ -61,6 +61,64 @@ func TestValidateZeroLengthPreemption(t *testing.T) {
 	}
 }
 
+// TestValidateAcceptsCancelledSpeculativeReservations pins the port
+// footprint a speculative twin leaves behind when it loses the race.
+// Task 0's twin completed its input staging (ordinary tag-1
+// reservations plus a StageEvent) before starting to execute, so its
+// cancellation burns only the duplicate execution (tag 3, no
+// TaskEvent). Task 1's twin was cancelled mid-staging, leaving
+// preempted partial reservations on both the storage and compute
+// ports with no StageEvent at all. Both shapes must validate — only
+// the winners' committed executions appear as TaskEvents.
+func TestValidateAcceptsCancelledSpeculativeReservations(t *testing.T) {
+	fix := fixtureSchedule{
+		Storage: [][]Interval{{
+			{Start: 0, End: 4, Tag: 1},   // file 5 -> node 0 (winner)
+			{Start: 4, End: 6, Tag: 1},   // file 7 -> node 0 (winner)
+			{Start: 6, End: 8, Tag: 1},   // file 5 -> node 1 (twin of task 0, completed)
+			{Start: 20, End: 21, Tag: 3}, // file 7 -> node 1 (twin of task 1, cancelled mid-flight)
+		}},
+		Compute: [][]Interval{
+			{
+				{Start: 0, End: 4, Tag: 1},
+				{Start: 4, End: 6, Tag: 1},
+				{Start: 6, End: 16, Tag: 2},  // task 0 primary wins at 16
+				{Start: 16, End: 22, Tag: 2}, // task 1 primary wins at 22
+			},
+			{
+				{Start: 6, End: 8, Tag: 1},   // twin of task 0 stages its input
+				{Start: 8, End: 16, Tag: 3},  // twin of task 0 execution, burnt at the primary's finish
+				{Start: 20, End: 21, Tag: 3}, // twin of task 1 staging, burnt mid-transfer
+			},
+		},
+		Stages: []StageEvent{
+			{File: 5, Node: 0, Avail: 4, Size: 50},
+			{File: 7, Node: 0, Avail: 6, Size: 50},
+			{File: 5, Node: 1, Avail: 8, Size: 50},
+		},
+		Tasks: []TaskEvent{
+			{Task: 0, Node: 0, Start: 6, End: 16, Inputs: []int{5}},
+			{Task: 1, Node: 0, Start: 16, End: 22, Inputs: []int{7}},
+		},
+		DiskCap:  []int64{200, 200},
+		InitUsed: []int64{0, 0},
+		InitHeld: [][]int{nil, nil},
+	}
+	if v := fix.schedule().Validate(); len(v) != 0 {
+		t.Fatalf("schedule with cancelled speculative reservations flagged: %v", v)
+	}
+	// Negative control: a twin's burn is a real port reservation, so
+	// sliding it under a committed staging is still an overlap.
+	broken := fix
+	broken.Storage = [][]Interval{{
+		{Start: 0, End: 4, Tag: 1},
+		{Start: 4, End: 6, Tag: 1},
+		{Start: 4.5, End: 5.5, Tag: 3},
+		{Start: 6, End: 8, Tag: 1},
+	}}
+	assertViolations(t, broken.schedule().Validate(), "reservations overlap")
+}
+
 // fixtureSchedule mirrors Schedule with plain intervals so recorded
 // schedules round-trip through JSON testdata.
 type fixtureSchedule struct {
@@ -123,6 +181,21 @@ func TestCrashRecoveryFixture(t *testing.T) {
 	reboot := fix.SubBatches[1]
 	if reboot.InitUsed[1] != 0 || len(reboot.InitHeld[1]) != 0 {
 		t.Fatal("fixture drifted: crashed node no longer rejoins with an empty cache")
+	}
+	// The fixture carries one speculated task: task 2 commits on the
+	// surviving node while its cancelled twin leaves a tag-3 burn (and
+	// no TaskEvent) on the rebooted one.
+	if len(reboot.Tasks) != 2 {
+		t.Fatalf("fixture drifted: sub-batch 1 has %d committed tasks, want 2", len(reboot.Tasks))
+	}
+	twinBurn := reboot.Compute[1][len(reboot.Compute[1])-1]
+	if twinBurn.Tag != 3 {
+		t.Fatalf("fixture drifted: cancelled twin reservation has tag %d, want 3 (preempted)", twinBurn.Tag)
+	}
+	for _, te := range reboot.Tasks {
+		if te.Node == 1 && te.Start < twinBurn.End && twinBurn.Start < te.End {
+			t.Fatalf("fixture drifted: task %d committed inside the cancelled twin's burn", te.Task)
+		}
 	}
 	// Negative control: without the recovery re-staging, the task on
 	// the rebooted node runs without its input.

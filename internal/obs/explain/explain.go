@@ -28,6 +28,7 @@ type Journal struct {
 	execByTask  map[int][]int
 	stageByTask map[int][]int
 	faultByTask map[int][]int
+	specByTask  map[int][]int
 	fileEvents  map[int][]int // replicate/stage/evict/fault touching a file
 }
 
@@ -48,6 +49,7 @@ func FromEvents(evs []journal.Event) *Journal {
 		execByTask:  map[int][]int{},
 		stageByTask: map[int][]int{},
 		faultByTask: map[int][]int{},
+		specByTask:  map[int][]int{},
 		fileEvents:  map[int][]int{},
 	}
 	for i, ev := range evs {
@@ -72,6 +74,8 @@ func FromEvents(evs []journal.Event) *Journal {
 			if ev.Fault.File >= 0 {
 				j.fileEvents[ev.Fault.File] = append(j.fileEvents[ev.Fault.File], i)
 			}
+		case ev.Spec != nil:
+			j.specByTask[ev.Spec.Task] = append(j.specByTask[ev.Spec.Task], i)
 		}
 	}
 	return j
@@ -114,6 +118,10 @@ type Placement struct {
 	Stages []journal.Event `json:"stages,omitempty"`
 	Execs  []journal.Event `json:"execs,omitempty"`
 	Faults []journal.Event `json:"faults,omitempty"`
+	// Specs is the task's speculation record: launch, first-finisher
+	// decision and loser cancellation, answering "why was this task
+	// speculated (and did the twin pay off)?".
+	Specs []journal.Event `json:"specs,omitempty"`
 }
 
 // Placement answers "why did task t run where it did?". Returns nil
@@ -125,8 +133,9 @@ func (j *Journal) Placement(t int) *Placement {
 		Stages: j.pick(j.stageByTask[t]),
 		Execs:  j.pick(j.execByTask[t]),
 		Faults: j.pick(j.faultByTask[t]),
+		Specs:  j.pick(j.specByTask[t]),
 	}
-	if len(p.Places) == 0 && len(p.Execs) == 0 && len(p.Faults) == 0 {
+	if len(p.Places) == 0 && len(p.Execs) == 0 && len(p.Faults) == 0 && len(p.Specs) == 0 {
 		return nil
 	}
 	return p
@@ -344,7 +353,57 @@ func (p *Placement) Text() string {
 	for _, ev := range p.Faults {
 		fmt.Fprintf(&b, "  fault at t=%.3f: %s\n", ev.T, faultDesc(ev.Fault))
 	}
+	for _, ev := range p.Specs {
+		sp := ev.Spec
+		switch ev.Kind {
+		case journal.KindSpecLaunch:
+			fmt.Fprintf(&b, "  speculated at t=%.3f: twin forked on node %d (primary on node %d, policy %s, threshold %.3fs)\n",
+				ev.T, sp.Twin, sp.Node, sp.Policy, sp.Threshold)
+			if sp.Reason != "" {
+				fmt.Fprintf(&b, "    because: %s\n", sp.Reason)
+			}
+			for _, c := range sp.Candidates {
+				marker := " "
+				if c.Node == sp.Twin {
+					marker = "*"
+				}
+				fits := "fits"
+				if !c.Fits {
+					fits = "no fit"
+				}
+				fmt.Fprintf(&b, "    %s twin host %d: projected end %.4g (%s)\n", marker, c.Node, c.Score, fits)
+			}
+		case journal.KindSpecWin:
+			fmt.Fprintf(&b, "  spec race decided at t=%.3f: %s wins (primary end %s, twin end %s)\n",
+				ev.T, sp.Winner, specEnd(sp.PrimaryEnd), specEnd(sp.TwinEnd))
+			if sp.Reason != "" {
+				fmt.Fprintf(&b, "    because: %s\n", sp.Reason)
+			}
+		case journal.KindSpecCancel:
+			fmt.Fprintf(&b, "  spec loser cancelled at t=%.3f: %s attempt cancelled, %.3fs of port time burnt\n",
+				ev.T, specLoser(sp.Winner), sp.WastedS)
+		}
+	}
 	return b.String()
+}
+
+// specEnd renders an attempt's projected finish (−1 = crash-killed).
+func specEnd(t float64) string {
+	if t < 0 {
+		return "never (crashed)"
+	}
+	return fmt.Sprintf("%.3f", t)
+}
+
+// specLoser names the cancelled side given the race winner.
+func specLoser(winner string) string {
+	switch winner {
+	case "primary":
+		return "twin"
+	case "twin":
+		return "primary"
+	}
+	return "both"
 }
 
 // Text renders the file history for terminals.
@@ -417,6 +476,8 @@ func causeSuffix(st *journal.Stage) string {
 		return " (pre-staged)"
 	case "retry":
 		return fmt.Sprintf(" (retry, attempt %d)", st.Attempt)
+	case "spec":
+		return " (for speculative twin)"
 	}
 	return ""
 }

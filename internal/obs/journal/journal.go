@@ -36,6 +36,10 @@ const (
 	KindFault  = "fault"   // Fault: failure/recovery activity
 	KindCell   = "cell"    // Run: experiment-harness cell marker
 	KindRunEnd = "run_end" // Run: the batch run finished
+
+	KindSpecLaunch = "spec_launch" // Spec: a speculative twin forked
+	KindSpecWin    = "spec_win"    // Spec: the first finisher decided the task
+	KindSpecCancel = "spec_cancel" // Spec: the losing attempt cancelled
 )
 
 // Event is one journal entry. T is absolute simulated seconds (never
@@ -57,6 +61,7 @@ type Event struct {
 	Fault     *Fault     `json:"fault,omitempty"`
 	Plan      *Plan      `json:"plan,omitempty"`
 	Run       *Run       `json:"run,omitempty"`
+	Spec      *Spec      `json:"spec,omitempty"`
 }
 
 // Candidate is one node a scheduler considered for a task placement.
@@ -178,6 +183,36 @@ type Fault struct {
 	Attempt int     `json:"attempt,omitempty"`
 	Factor  float64 `json:"factor,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
+}
+
+// Spec records speculative-execution activity for one task: the
+// launch of a duplicate attempt (spec_launch, with the candidate
+// nodes considered), the first-finisher decision (spec_win) and the
+// cancellation of the losing attempt (spec_cancel). All times are
+// absolute simulated seconds; PrimaryEnd/TwinEnd are −1 when that
+// attempt never finishes (crash-killed) — JSON has no +Inf.
+type Spec struct {
+	Task int `json:"task"`
+	// Node is the primary attempt's compute node, Twin the duplicate's.
+	Node int `json:"node"`
+	Twin int `json:"twin"`
+	// Policy names the speculation policy that fired; Threshold is its
+	// elapsed-time watchdog threshold t* in seconds.
+	Policy    string  `json:"policy,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// PrimaryEnd/TwinEnd are the attempts' projected finish times
+	// (−1 = never finishes).
+	PrimaryEnd float64 `json:"primary_end,omitempty"`
+	TwinEnd    float64 `json:"twin_end,omitempty"`
+	// Winner is "primary", "twin", or "none" (both attempts died).
+	Winner string `json:"winner,omitempty"`
+	// WastedS is the port time the cancelled attempt burnt.
+	WastedS float64 `json:"wasted_s,omitempty"`
+	// Candidates lists the twin hosts evaluated at launch (score =
+	// projected twin completion time), including the chosen node.
+	Candidates []Candidate `json:"candidates,omitempty"`
+	// Reason is a short human-readable rationale.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Plan summarizes one sub-batch plan. The round's Place events

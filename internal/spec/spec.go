@@ -1,0 +1,153 @@
+// Package spec holds the speculative-execution policies of the §6
+// runtime: when a running task's elapsed simulated time exceeds a
+// policy threshold, the runtime launches a duplicate attempt (a twin)
+// on another compute node, the first finisher wins, and the loser is
+// cancelled. The policy only answers "at what elapsed time should the
+// watchdog fork a twin?" — candidate choice, cancellation and
+// accounting live in internal/core.
+//
+// The three policies follow Wang–Joshi–Wornell ("Efficient Task
+// Replication for Fast Response Times in Parallel Computation"):
+// never (the control), fixed-factor (fork when the task has run F×
+// its fault-free duration), and single-fork-at-t* (fork at the
+// quantile of the injector's straggler distribution where waiting
+// longer stops paying — a single well-timed fork rather than blind
+// replication).
+//
+// Determinism: a Policy is pure configuration. Thresholds are
+// arithmetic over the task's fault-free duration and the fault plan's
+// straggler distribution; no clock, no RNG, no state. The package is
+// part of schedlint's deterministic path set.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// Kind enumerates the speculation policies.
+type Kind int
+
+const (
+	// Never disables speculation; the runtime takes the exact
+	// pre-speculation code paths.
+	Never Kind = iota
+	// FixedFactor forks a twin once a task has been running Factor
+	// times its fault-free duration.
+	FixedFactor
+	// SingleFork forks a twin at t* = base duration × the Quantile
+	// point of the straggler slowdown distribution: the single
+	// fork time that separates "probably about to finish" from
+	// "probably stuck in the tail" (Wang–Joshi–Wornell).
+	SingleFork
+)
+
+// Policy is one speculation configuration. The zero value (and nil)
+// never speculates.
+type Policy struct {
+	Kind Kind
+	// Factor is the FixedFactor threshold multiple (> 1; default 2).
+	Factor float64
+	// Quantile is the SingleFork fork point in the straggler slowdown
+	// CDF (in (0, 1); default 0.9).
+	Quantile float64
+}
+
+// Active reports whether this policy can ever fork a twin. Nil and
+// Never policies are inactive: the runtime must take its pre-existing
+// code paths unchanged.
+func (p *Policy) Active() bool { return p != nil && p.Kind != Never }
+
+// Threshold returns the watchdog's elapsed-time threshold t* for a
+// task whose fault-free execution would take baseDur seconds: a twin
+// is forked if the task is still running t* seconds after it started.
+// Inactive policies return +Inf (the watchdog never fires). The
+// threshold is never below baseDur — a task on schedule is not
+// speculated.
+func (p *Policy) Threshold(baseDur float64, d faults.StragglerDist) float64 {
+	if !p.Active() || baseDur <= 0 {
+		return math.Inf(1)
+	}
+	switch p.Kind {
+	case FixedFactor:
+		f := p.Factor
+		if f <= 1 {
+			f = 2
+		}
+		return f * baseDur
+	case SingleFork:
+		q := p.Quantile
+		if q <= 0 || q >= 1 {
+			q = 0.9
+		}
+		m := d.Quantile(q)
+		if m <= 1 {
+			// Degenerate distribution (no stragglers configured): a twin
+			// could never beat the primary, so never fork.
+			return math.Inf(1)
+		}
+		return m * baseDur
+	}
+	return math.Inf(1)
+}
+
+// String renders the policy as a spec Parse accepts.
+func (p *Policy) String() string {
+	if p == nil || p.Kind == Never {
+		return "never"
+	}
+	switch p.Kind {
+	case FixedFactor:
+		f := p.Factor
+		if f <= 1 {
+			f = 2
+		}
+		return fmt.Sprintf("fixed-factor:%g", f)
+	case SingleFork:
+		q := p.Quantile
+		if q <= 0 || q >= 1 {
+			q = 0.9
+		}
+		return fmt.Sprintf("single-fork:%g", q)
+	}
+	return "never"
+}
+
+// Parse builds a Policy from a CLI spec: "never" (or ""), which
+// parses to a nil (inactive) policy; "fixed-factor[:F]" with F > 1
+// (default 2); or "single-fork[:Q]" (alias "single-fork-at-t*") with
+// quantile Q in (0, 1) (default 0.9).
+func Parse(s string) (*Policy, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "never" || s == "none" {
+		return nil, nil
+	}
+	name, arg, hasArg := strings.Cut(s, ":")
+	switch name {
+	case "fixed-factor", "fixedfactor":
+		p := &Policy{Kind: FixedFactor, Factor: 2}
+		if hasArg {
+			f, err := strconv.ParseFloat(arg, 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 1 {
+				return nil, fmt.Errorf("spec: fixed-factor wants a finite factor > 1, got %q", arg)
+			}
+			p.Factor = f
+		}
+		return p, nil
+	case "single-fork", "singlefork", "single-fork-at-t*":
+		p := &Policy{Kind: SingleFork, Quantile: 0.9}
+		if hasArg {
+			q, err := strconv.ParseFloat(arg, 64)
+			if err != nil || math.IsNaN(q) || q <= 0 || q >= 1 {
+				return nil, fmt.Errorf("spec: single-fork wants a quantile in (0,1), got %q", arg)
+			}
+			p.Quantile = q
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("spec: unknown policy %q (want never, fixed-factor[:F], or single-fork[:Q])", s)
+}

@@ -1,0 +1,157 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// harshDist mirrors the harsh preset's straggler marginal: 15 % of
+// executions slowed by a factor drawn uniformly from (1, 4].
+var harshDist = faults.StragglerDist{Prob: 0.15, Factor: 4}
+
+func TestActive(t *testing.T) {
+	var nilPol *Policy
+	if nilPol.Active() {
+		t.Fatal("nil policy reports Active")
+	}
+	if (&Policy{}).Active() {
+		t.Fatal("zero-value (Never) policy reports Active")
+	}
+	if !(&Policy{Kind: FixedFactor}).Active() || !(&Policy{Kind: SingleFork}).Active() {
+		t.Fatal("FixedFactor/SingleFork policies report inactive")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	const base = 10.0
+	cases := []struct {
+		name string
+		pol  *Policy
+		dist faults.StragglerDist
+		want float64
+	}{
+		{"nil never fires", nil, harshDist, math.Inf(1)},
+		{"Never never fires", &Policy{Kind: Never}, harshDist, math.Inf(1)},
+		{"fixed-factor multiplies base", &Policy{Kind: FixedFactor, Factor: 3}, harshDist, 3 * base},
+		{"fixed-factor default 2", &Policy{Kind: FixedFactor}, harshDist, 2 * base},
+		{"fixed-factor rejects <=1", &Policy{Kind: FixedFactor, Factor: 0.5}, harshDist, 2 * base},
+		// harsh Quantile(0.925) = 1 + 3·(0.925−0.85)/0.15 = 2.5.
+		{"single-fork at the straggler quantile", &Policy{Kind: SingleFork, Quantile: 0.925}, harshDist, 2.5 * base},
+		// harsh Quantile(0.9) = 1 + 3·(0.05)/0.15 = 2.
+		{"single-fork default q=0.9", &Policy{Kind: SingleFork}, harshDist, 2 * base},
+		{"single-fork out-of-range q falls back", &Policy{Kind: SingleFork, Quantile: 1.5}, harshDist, 2 * base},
+		// Quantile at or below the non-straggler mass answers 1: the
+		// threshold would equal baseDur, so the policy never forks.
+		{"single-fork below straggler mass never fires", &Policy{Kind: SingleFork, Quantile: 0.5}, harshDist, math.Inf(1)},
+		{"single-fork degenerate dist never fires", &Policy{Kind: SingleFork, Quantile: 0.95}, faults.StragglerDist{}, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := c.pol.Threshold(base, c.dist)
+		if math.IsInf(c.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: Threshold = %g, want +Inf", c.name, got)
+			}
+		} else if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Threshold = %g, want %g", c.name, got, c.want)
+		}
+	}
+	// A threshold is elapsed time, so a non-positive base duration can
+	// never be exceeded meaningfully.
+	if got := (&Policy{Kind: FixedFactor}).Threshold(0, harshDist); !math.IsInf(got, 1) {
+		t.Errorf("Threshold(0) = %g, want +Inf", got)
+	}
+	// The watchdog threshold is never below the fault-free duration.
+	for q := 0.05; q < 1; q += 0.05 {
+		p := &Policy{Kind: SingleFork, Quantile: q}
+		if thr := p.Threshold(base, harshDist); thr < base {
+			t.Errorf("quantile %g: threshold %g below base duration %g", q, thr, base)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Policy
+	}{
+		{"", nil},
+		{"never", nil},
+		{"none", nil},
+		{"  Never ", nil},
+		{"fixed-factor", &Policy{Kind: FixedFactor, Factor: 2}},
+		{"fixedfactor:3.5", &Policy{Kind: FixedFactor, Factor: 3.5}},
+		{"single-fork", &Policy{Kind: SingleFork, Quantile: 0.9}},
+		{"single-fork:0.855", &Policy{Kind: SingleFork, Quantile: 0.855}},
+		{"singlefork:0.5", &Policy{Kind: SingleFork, Quantile: 0.5}},
+		{"single-fork-at-t*", &Policy{Kind: SingleFork, Quantile: 0.9}},
+		{"SINGLE-FORK:0.75", &Policy{Kind: SingleFork, Quantile: 0.75}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if (got == nil) != (c.want == nil) || (got != nil && *got != *c.want) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+			continue
+		}
+		// String renders a spec Parse accepts, and parsing it again is
+		// a fixed point.
+		rt, err := Parse(got.String())
+		if err != nil {
+			t.Errorf("Parse(String(%q)): %v", c.in, err)
+			continue
+		}
+		if (rt == nil) != (got == nil) || (rt != nil && *rt != *got) {
+			t.Errorf("round trip of %q: %+v -> %q -> %+v", c.in, got, got.String(), rt)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"always",
+		"fixed-factor:1",   // threshold multiple must exceed 1
+		"fixed-factor:0.9", // ditto
+		"fixed-factor:nan",
+		"fixed-factor:+inf",
+		"fixed-factor:x",
+		"single-fork:0", // quantile must be interior
+		"single-fork:1",
+		"single-fork:-0.2",
+		"single-fork:nan",
+		"single-fork:",
+		"lateness:2",
+	} {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, p)
+		}
+	}
+}
+
+func TestStringNormalizesDegenerates(t *testing.T) {
+	// Out-of-range fields render as the defaults Threshold would use,
+	// so String never emits a spec that Parse rejects.
+	cases := []struct {
+		pol  *Policy
+		want string
+	}{
+		{nil, "never"},
+		{&Policy{}, "never"},
+		{&Policy{Kind: FixedFactor, Factor: 0.5}, "fixed-factor:2"},
+		{&Policy{Kind: SingleFork, Quantile: -3}, "single-fork:0.9"},
+		{&Policy{Kind: SingleFork, Quantile: 0.855}, "single-fork:0.855"},
+		{&Policy{Kind: Kind(99)}, "never"},
+	}
+	for _, c := range cases {
+		if got := c.pol.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.pol, got, c.want)
+		}
+		if _, err := Parse(c.pol.String()); err != nil {
+			t.Errorf("Parse(String(%+v)): %v", c.pol, err)
+		}
+	}
+}
