@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build vet lint test race fuzz-short chaos spec-chaos explain-check verify bench bench-all bench-parallel profile figures clean
+.PHONY: all help build vet lint test race fuzz-short chaos spec-chaos explain-check verify bench bench-scale bench-all bench-parallel profile figures clean
 
 all: verify
 
@@ -17,6 +17,7 @@ help:
 	@echo "  make spec-chaos    - speculation suite under -race + a speculated CLI run"
 	@echo "  make explain-check - journal byte-determinism (workers 1 vs 8) + schedexplain smoke"
 	@echo "  make bench         - per-scheduler benches -> BENCH_schedulers.json"
+	@echo "  make bench-scale   - task-decade scaling sweep -> BENCH_scale.json"
 	@echo "  make bench-all     - all benchmarks, one iteration"
 	@echo "  make bench-parallel- workers=1 vs workers=N scaling benches"
 	@echo "  make profile       - CPU/heap profiles + Chrome trace of one run"
@@ -93,10 +94,21 @@ verify: build vet lint test race fuzz-short explain-check
 # speculation arms land in BENCH_faults.json with the wasted_compute_s
 # and spec_wins columns alongside.
 bench:
-	$(GO) test -run='^$$' -bench='^BenchmarkSchedulers$$' -benchmem -benchtime=1x \
+	$(GO) test -run='^$$' -bench='^BenchmarkSchedulers$$' -benchmem -benchtime=5x \
 		| $(GO) run ./cmd/benchjson -o BENCH_schedulers.json
-	$(GO) test -run='^$$' -bench='^BenchmarkFaultRecovery$$' -benchmem -benchtime=1x \
+	$(GO) test -run='^$$' -bench='^BenchmarkFaultRecovery$$' -benchmem -benchtime=5x \
 		| $(GO) run ./cmd/benchjson -o BENCH_faults.json
+
+# The DESIGN §14 scaling sweep: task decades 100 -> 100k over the
+# IMAGE workload under MinMin and JobDataPresent — full-pipeline arms
+# (BenchmarkScale, including the +shard arms that carry the 100k
+# tier) and plan-only optimized-vs-naive arms (BenchmarkScalePlan) —
+# parsed into BENCH_scale.json. One iteration per tier: the 100k arms
+# take minutes each and the naive 10k arms tens of seconds, so
+# -benchtime=1x is the point, not a shortcut.
+bench-scale:
+	$(GO) test -run='^$$' -bench='^BenchmarkScale(Plan)?$$' -benchmem -benchtime=1x -timeout=120m \
+		| $(GO) run ./cmd/benchjson -o BENCH_scale.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"repro/internal/batch"
@@ -193,6 +194,21 @@ type executor struct {
 	// avail[n][f] is the committed availability time of file f on
 	// compute node n within this sub-batch; negative means absent.
 	avail [][]float64
+	// holders[f] lists, in ascending node order, the compute nodes with
+	// avail[n][f] >= 0 — the inverse of avail, so source searches visit
+	// only actual copies instead of every node. Nodes are only ever
+	// added (avail never drops below zero within a sub-batch), which
+	// keeps the lists sorted by construction.
+	holders [][]int32
+
+	// tentEnv is the reusable tentative scheduling environment for ECT
+	// probes: its overlays, scratch tables and visiting set are cleared
+	// between uses instead of reallocated (the probe loop runs millions
+	// of times at scale).
+	tentEnv *schedEnv
+	// remainingBuf backs scheduleTask's missing-file worklist across
+	// calls.
+	remainingBuf []batch.FileID
 
 	planned map[stageKey]Staging
 
@@ -291,11 +307,13 @@ func newExecutor(st *State, plan *SubPlan, traced bool, tr obs.Tracer, inj *faul
 		}
 	}
 	e.avail = make([][]float64, p.Platform.NumCompute())
+	e.holders = make([][]int32, nf)
 	for n := range e.avail {
 		e.avail[n] = make([]float64, nf)
 		for f := range e.avail[n] {
 			if st.Holds(n, batch.FileID(f)) {
 				e.avail[n][f] = 0
+				e.holders[f] = append(e.holders[f], int32(n)) // n ascends: stays sorted
 				if e.trace != nil {
 					e.trace.InitHeld[n] = append(e.trace.InitHeld[n], f)
 				}
@@ -332,9 +350,16 @@ type schedEnv struct {
 	commit bool
 	// overlays (tentative mode only), keyed by underlying timeline.
 	overlays map[*gantt.Timeline]*gantt.Overlay
-	// scratch availability additions (tentative mode only).
-	scratch  map[stageKey]float64
-	visiting map[stageKey]bool
+	// dirty lists the overlays that received tentative reservations, so
+	// a reused env can clear exactly those instead of rebuilding the
+	// map.
+	dirty []*gantt.Overlay
+	// scratch availability additions (tentative mode only), with
+	// scratchByFile as its per-file ascending-node inverse (the
+	// tentative counterpart of executor.holders).
+	scratch       map[stageKey]float64
+	scratchByFile map[batch.FileID][]int32
+	visiting      map[stageKey]bool
 	// alts holds the source alternatives bestSource evaluated for the
 	// transfer about to commit (journaled commit mode only); the
 	// commit consumes and clears it.
@@ -346,6 +371,10 @@ type schedEnv struct {
 	// record, when non-nil, captures each tentatively scheduled
 	// transfer so the twin-commit path can replay the exact slots.
 	record *[]specOp
+	// remoteRes is the scratch buffer remoteResources hands to
+	// multiSlot, reused across the millions of source probes a large
+	// batch issues.
+	remoteRes []gantt.SlotSearcher
 	// dynamicOnly forces dynamic (min-TCT) source choice even under a
 	// pinned plan: twin staging is not part of the IP plan, and
 	// single-hop dynamic transfers keep the recorded ops replayable.
@@ -357,7 +386,29 @@ func newSchedEnv(e *executor, commit bool) *schedEnv {
 	if !commit {
 		v.overlays = make(map[*gantt.Timeline]*gantt.Overlay)
 		v.scratch = make(map[stageKey]float64)
+		v.scratchByFile = make(map[batch.FileID][]int32)
 	}
+	return v
+}
+
+// tentativeEnv returns the executor's cached probe environment,
+// cleared for a fresh tentative scheduling pass. Only the overlays
+// that were actually dirtied and the scratch entries that were added
+// get reset, so back-to-back probes cost no allocation.
+func (e *executor) tentativeEnv() *schedEnv {
+	v := e.tentEnv
+	if v == nil {
+		v = newSchedEnv(e, false)
+		e.tentEnv = v
+		return v
+	}
+	for _, ov := range v.dirty {
+		ov.Clear()
+	}
+	v.dirty = v.dirty[:0]
+	clear(v.scratch)
+	clear(v.scratchByFile)
+	clear(v.visiting)
 	return v
 }
 
@@ -375,10 +426,33 @@ func (v *schedEnv) availOn(n int, f batch.FileID) (float64, bool) {
 
 func (v *schedEnv) setAvail(n int, f batch.FileID, at float64) {
 	if v.commit {
+		if v.e.avail[n][f] < 0 {
+			v.e.addHolder(f, n)
+		}
 		v.e.avail[n][f] = at
-	} else {
-		v.scratch[stageKey{f, n}] = at
+		return
 	}
+	key := stageKey{f, n}
+	if _, ok := v.scratch[key]; !ok {
+		lst := v.scratchByFile[f]
+		i := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(n) })
+		lst = append(lst, 0)
+		copy(lst[i+1:], lst[i:])
+		lst[i] = int32(n)
+		v.scratchByFile[f] = lst
+	}
+	v.scratch[key] = at
+}
+
+// addHolder records node n as a committed holder of f, preserving the
+// ascending order of the per-file list.
+func (e *executor) addHolder(f batch.FileID, n int) {
+	lst := e.holders[f]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(n) })
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = int32(n)
+	e.holders[f] = lst
 }
 
 func (v *schedEnv) searcher(tl *gantt.Timeline) gantt.SlotSearcher {
@@ -402,6 +476,9 @@ func (v *schedEnv) reserve(tl *gantt.Timeline, start, dur float64, tag int32) {
 	if !ok {
 		ov = gantt.NewOverlay(tl)
 		v.overlays[tl] = ov
+	}
+	if ov.TentativeLen() == 0 {
+		v.dirty = append(v.dirty, ov)
 	}
 	ov.Add(start, dur)
 }
@@ -470,7 +547,25 @@ func (v *schedEnv) bestSource(f batch.FileID, dst int) (src int, start, tct floa
 	if v.e.st.P.DisableReplication {
 		return src, start, tct
 	}
-	for j := range pf.Compute {
+	// Visit only the nodes that hold (or are tentatively scheduled to
+	// receive) the file, merging the two ascending holder lists so the
+	// node order — and therefore every tie-break and journal entry — is
+	// exactly the filtered 0..C-1 scan this replaces.
+	hs := v.e.holders[f]
+	var ts []int32
+	if !v.commit {
+		ts = v.scratchByFile[f]
+	}
+	hi, ti := 0, 0
+	for hi < len(hs) || ti < len(ts) {
+		var j int
+		if hi < len(hs) && (ti >= len(ts) || hs[hi] <= ts[ti]) {
+			j = int(hs[hi])
+			hi++
+		} else {
+			j = int(ts[ti])
+			ti++
+		}
 		if j == dst {
 			continue
 		}
@@ -479,6 +574,12 @@ func (v *schedEnv) bestSource(f batch.FileID, dst int) (src int, start, tct floa
 			continue
 		}
 		rdur := float64(size) / pf.ReplicaBW(j, dst)
+		if !record && at+rdur >= tct-1e-12 {
+			// rstart ≥ at, so rtct ≥ at+rdur: this source cannot win the
+			// strict rtct < tct-1e-12 test below. Skip its slot search —
+			// unless the journal needs the exact TCT for the alts list.
+			continue
+		}
 		rstart := v.multiSlot(at, rdur, v.searcher(v.e.computeTL[j]), v.searcher(v.e.computeTL[dst]))
 		rtct := rstart + rdur
 		if record {
@@ -498,11 +599,16 @@ func (v *schedEnv) probeTCT(f batch.FileID, dst int) float64 {
 	return tct
 }
 
+// remoteResources returns the slot-search resources a remote staging
+// contends on. The returned slice aliases a per-env scratch buffer —
+// valid only until the next remoteResources call, which every caller
+// respects by spreading it straight into multiSlot.
 func (v *schedEnv) remoteResources(home, dst int) []gantt.SlotSearcher {
-	res := []gantt.SlotSearcher{v.searcher(v.e.storageTL[home]), v.searcher(v.e.computeTL[dst])}
+	res := append(v.remoteRes[:0], v.searcher(v.e.storageTL[home]), v.searcher(v.e.computeTL[dst]))
 	if v.e.linkTL != nil {
 		res = append(res, v.searcher(v.e.linkTL))
 	}
+	v.remoteRes = res
 	return res
 }
 
@@ -659,7 +765,24 @@ func (v *schedEnv) survivingReplica(f batch.FileID, dst int, after float64) (src
 	size := p.Batch.FileSize(f)
 	best := math.Inf(1)
 	src = -1
-	for j := range p.Platform.Compute {
+	// Same merged holder-list walk as bestSource: only nodes with a
+	// committed (or, in tentative envs, scheduled) copy are visited, in
+	// ascending node order.
+	hs := e.holders[f]
+	var ts []int32
+	if !v.commit {
+		ts = v.scratchByFile[f]
+	}
+	hi, ti := 0, 0
+	for hi < len(hs) || ti < len(ts) {
+		var j int
+		if hi < len(hs) && (ti >= len(ts) || hs[hi] <= ts[ti]) {
+			j = int(hs[hi])
+			hi++
+		} else {
+			j = int(ts[ti])
+			ti++
+		}
 		if j == dst {
 			continue
 		}
@@ -818,19 +941,22 @@ func (e *executor) base() float64 { return e.st.Clock }
 // per §6) and then places its execution; it returns the task's
 // completion time. With commit=false everything happens on overlays.
 func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
-	v := newSchedEnv(e, commit)
+	var v *schedEnv
+	if commit {
+		v = newSchedEnv(e, true)
+		e.curTask = int(t)
+	} else {
+		v = e.tentativeEnv()
+	}
 	c := e.plan.Node[t]
 	task := &e.st.P.Batch.Tasks[t]
-	if commit {
-		e.curTask = int(t)
-	}
 
 	// Stage missing files. §6 picks the file with minimum TCT first,
 	// recomputes, and repeats; since transfers to one node serialize on
 	// its port, scheduling shorter-TCT transfers first is what the
 	// greedy order achieves. We emulate it by repeatedly choosing the
 	// cheapest remaining file.
-	remaining := make([]batch.FileID, 0, len(task.Files))
+	remaining := e.remainingBuf[:0]
 	arrival := 0.0
 	for _, f := range task.Files {
 		if at, ok := v.availOn(c, f); ok {
@@ -868,12 +994,14 @@ func (e *executor) scheduleTask(t batch.TaskID, commit bool) (float64, error) {
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		at, err := v.ensureFile(f, c)
 		if err != nil {
+			e.remainingBuf = remaining[:0]
 			return 0, err
 		}
 		if at > arrival {
 			arrival = at
 		}
 	}
+	e.remainingBuf = remaining[:0]
 
 	// Execute: local read of all inputs plus computation, on the
 	// node's port (no staging overlaps execution).

@@ -174,5 +174,18 @@ func appendTimelineViolations(v []string, name string, t *Timeline) []string {
 // deliberately broken input. Slot queries on an unsorted or
 // overlapping timeline are meaningless; run Validate first.
 func NewTimelineFromIntervals(ivs []Interval) *Timeline {
-	return &Timeline{ivs: append([]Interval(nil), ivs...)}
+	t := &Timeline{}
+	for len(ivs) > 0 {
+		n := len(ivs)
+		if n > chunkTarget {
+			n = chunkTarget
+		}
+		c := chunk{ivs: append([]Interval(nil), ivs[:n]...)}
+		c.recalcGap()
+		t.chunks = append(t.chunks, c)
+		t.n += n
+		ivs = ivs[n:]
+	}
+	t.recalcMetasFrom(0)
+	return t
 }

@@ -1,0 +1,52 @@
+package hypergraph
+
+// Components returns the connected components of the hypergraph:
+// vertices are connected when they share a net. Each component lists
+// its vertices in ascending order, and components are ordered by their
+// smallest vertex, so the decomposition is deterministic for a given
+// hypergraph regardless of construction details.
+//
+// The scheduler sharding layer uses this to split a sub-batch into
+// independent file-sharing groups: tasks in different components share
+// no file, so per-component plans compose without interaction (under
+// unlimited disk, where no global capacity couples them).
+func (h *Hypergraph) Components() [][]int32 {
+	comp := make([]int32, h.NumV)
+	for v := range comp {
+		comp[v] = -1
+	}
+	netSeen := make([]bool, h.NumN)
+	var out [][]int32
+	var queue []int32
+	for v0 := 0; v0 < h.NumV; v0++ {
+		if comp[v0] >= 0 {
+			continue
+		}
+		id := int32(len(out))
+		comp[v0] = id
+		queue = append(queue[:0], int32(v0))
+		// Ascending-order output comes for free: every vertex reachable
+		// from v0 gets id, and the final pass collects by scanning 0..V.
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, n := range h.VertexNets(int(v)) {
+				if netSeen[n] {
+					continue
+				}
+				netSeen[n] = true
+				for _, u := range h.NetPins(int(n)) {
+					if comp[u] < 0 {
+						comp[u] = id
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+		out = append(out, nil)
+	}
+	for v := 0; v < h.NumV; v++ {
+		out[comp[v]] = append(out[comp[v]], int32(v))
+	}
+	return out
+}

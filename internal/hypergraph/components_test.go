@@ -1,0 +1,52 @@
+package hypergraph
+
+import "testing"
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 8; i++ {
+		b.AddVertex(1)
+	}
+	// {0,2,4} via two nets, {1,3} via one, {5} and {7} isolated, {6}
+	// only in a size-1 net (connects nothing).
+	b.AddNet(1, []int{0, 2})
+	b.AddNet(1, []int{2, 4})
+	b.AddNet(1, []int{1, 3})
+	b.AddNet(1, []int{6})
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.Components()
+	want := [][]int32{{0, 2, 4}, {1, 3}, {5}, {6}, {7}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d components %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestComponentsSingleBlob(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 100; i++ {
+		b.AddVertex(1)
+	}
+	for i := 0; i < 99; i++ {
+		b.AddNet(1, []int{i, i + 1})
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := h.Components(); len(c) != 1 || len(c[0]) != 100 {
+		t.Fatalf("chain should be one 100-vertex component, got %d components", len(c))
+	}
+}

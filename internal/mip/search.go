@@ -42,6 +42,11 @@ type search struct {
 	// the worker's solver track); never consulted for search decisions.
 	tr   obs.Tracer
 	widx int
+
+	// ws reuses the simplex solver's allocations across the thousands
+	// of node relaxations this dive solves. Lazily created; each search
+	// (one per portfolio worker) owns its own, so dives never share.
+	ws *simplex.Workspace
 }
 
 func (s *search) timeUp() bool {
@@ -107,7 +112,13 @@ func (s *search) dfs(depth int) {
 		return
 	}
 	s.nodes++
-	res, err := simplex.Solve(s.lp, s.opt.LP)
+	if s.ws == nil {
+		s.ws = new(simplex.Workspace)
+	}
+	// Workspace-backed solve: res.X aliases s.ws and is consumed fully
+	// (branch value read, incumbent copied) before the next node's
+	// solve or recursion below.
+	res, err := simplex.SolveWS(s.ws, s.lp, s.opt.LP)
 	if err != nil {
 		// Structural model errors surface on the root solve via
 		// Model.Solve; per-node errors cannot occur (bounds-only

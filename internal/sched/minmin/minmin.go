@@ -15,6 +15,15 @@
 // anywhere, the sub-batch closes, and the popularity eviction policy
 // (§4.3) frees space before the next round, exactly as the paper
 // integrates it with MinMin.
+//
+// Two implementations produce byte-identical plans (pinned by
+// TestMinMinIncrementalEquivalence): the reference O(T²·C) full-rescan
+// loop (Naive: true), and the default incremental one — a keyed
+// min-heap over per-task best completion times, updated eagerly for
+// tasks sharing a file with each placement (via an inverted file→task
+// index) and lazily, via per-node version counters and a lower-bound
+// "dirty" discount, for everything else. See DESIGN.md §14 for the
+// invariant argument.
 package minmin
 
 import (
@@ -28,7 +37,14 @@ import (
 )
 
 // Scheduler is the MinMin baseline. The zero value is ready to use.
-type Scheduler struct{}
+type Scheduler struct {
+	// Naive selects the reference full-rescan implementation: an
+	// O(T²·C) argmin loop over a fully maintained T×C matrix. It exists
+	// for the equivalence test and the bench-scale naive arm; the
+	// default incremental path plans the same bytes in roughly
+	// O((T log T + shares)·files).
+	Naive bool
+}
 
 // New returns a MinMin scheduler.
 func New() *Scheduler { return &Scheduler{} }
@@ -41,62 +57,125 @@ func (s *Scheduler) Evict(st *core.State, pending []batch.TaskID) {
 	eviction.Popularity(st, pending)
 }
 
-// PlanSubBatch implements core.Scheduler.
-func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+// mmState is the working copy of the cluster file state as one plan
+// unfolds. Both implementations share it — and in particular the ect
+// method — so their float arithmetic is operation-for-operation
+// identical.
+type mmState struct {
+	p         *core.Problem
+	b         *batch.Batch
+	C         int
+	holds     [][]bool
+	free      []int64
+	ready     []float64
+	anyCopy   []bool
+	bwRemote  []float64
+	bwReplica float64
+}
+
+func newMMState(st *core.State) *mmState {
 	p := st.P
 	b := p.Batch
 	C := p.Platform.NumCompute()
-
-	// Working copies of the cluster file state as this plan unfolds.
-	holds := st.PresentMatrix()
-	free := make([]int64, C)
-	ready := make([]float64, C)
-	for i := 0; i < C; i++ {
-		free[i] = st.Free(i)
+	m := &mmState{
+		p: p, b: b, C: C,
+		holds:   st.PresentMatrix(),
+		free:    make([]int64, C),
+		ready:   make([]float64, C),
+		anyCopy: make([]bool, b.NumFiles()),
 	}
-	anyCopy := make([]bool, b.NumFiles())
+	for i := 0; i < C; i++ {
+		m.free[i] = st.Free(i)
+	}
 	for f := 0; f < b.NumFiles(); f++ {
 		for i := 0; i < C; i++ {
-			if holds[i][f] {
-				anyCopy[f] = true
+			if m.holds[i][f] {
+				m.anyCopy[f] = true
 				break
 			}
 		}
 	}
-
-	bwRemote := make([]float64, C) // per-node min remote bandwidth
+	m.bwRemote = make([]float64, C)
 	for i := 0; i < C; i++ {
 		bw := math.Inf(1)
 		for sn := range p.Platform.Storage {
 			bw = math.Min(bw, p.Platform.RemoteBW(sn, i))
 		}
-		bwRemote[i] = bw
+		m.bwRemote[i] = bw
 	}
-	bwReplica := p.Platform.MinReplicaBW()
+	m.bwReplica = p.Platform.MinReplicaBW()
+	return m
+}
 
-	// ect estimates task k's completion on node i given current plan
-	// state; extra reports the new bytes the node must hold.
-	ect := func(k batch.TaskID, i int) (float64, int64) {
-		t := &b.Tasks[k]
-		stage := 0.0
-		var extra int64
-		var bytes int64
-		for _, f := range t.Files {
-			size := b.FileSize(f)
-			bytes += size
-			if holds[i][f] {
-				continue
-			}
-			extra += size
-			if anyCopy[f] && !p.DisableReplication {
-				stage += float64(size) / bwReplica
-			} else {
-				stage += float64(size) / bwRemote[i]
-			}
+// ect estimates task k's completion on node i given current plan
+// state; extra reports the new bytes the node must hold.
+func (m *mmState) ect(k batch.TaskID, i int) (float64, int64) {
+	t := &m.b.Tasks[k]
+	stage := 0.0
+	var extra int64
+	var bytes int64
+	for _, f := range t.Files {
+		size := m.b.FileSize(f)
+		bytes += size
+		if m.holds[i][f] {
+			continue
 		}
-		exec := float64(bytes)/p.Platform.Compute[i].LocalReadBW + t.Compute
-		return ready[i] + stage + exec, extra
+		extra += size
+		if m.anyCopy[f] && !m.p.DisableReplication {
+			stage += float64(size) / m.bwReplica
+		} else {
+			stage += float64(size) / m.bwRemote[i]
+		}
 	}
+	exec := float64(bytes)/m.p.Platform.Compute[i].LocalReadBW + t.Compute
+	return m.ready[i] + stage + exec, extra
+}
+
+// place applies one placement to the working state exactly as the
+// reference does — journal first (pre-commit candidate scores), then
+// ready/free/holds updates — and reports which of k's files were newly
+// staged and which of those gained their first cluster copy.
+func (m *mmState) place(st *core.State, plan *core.SubPlan, k batch.TaskID, bestNode int, bestT float64,
+	cands []journal.Candidate) (staged []batch.FileID, first []bool) {
+	plan.Tasks = append(plan.Tasks, k)
+	plan.Node[k] = bestNode
+	if st.J.Enabled() {
+		st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlace, Round: st.JRound,
+			Place: &journal.Place{Task: int(k), Node: bestNode, Policy: "minmin-mct",
+				Score: bestT, Candidates: cands,
+				Reason: "smallest minimum expected completion time among unscheduled tasks"}})
+	}
+	// Stage the task's files (implicit replication) and occupy the
+	// node.
+	e, extra := m.ect(k, bestNode)
+	m.ready[bestNode] = e
+	m.free[bestNode] -= extra
+	for _, f := range m.b.Tasks[k].Files {
+		if !m.holds[bestNode][f] {
+			staged = append(staged, f)
+			first = append(first, !m.anyCopy[f])
+			m.holds[bestNode][f] = true
+			m.anyCopy[f] = true
+		}
+	}
+	return staged, first
+}
+
+// PlanSubBatch implements core.Scheduler.
+func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	if s.Naive {
+		return s.planNaive(st, pending)
+	}
+	return s.planIncremental(st, pending)
+}
+
+// planNaive is the reference implementation: a full T×C matrix of
+// completion estimates, refreshed after every placement (the changed
+// node's column for everyone, full rows for tasks sharing a file that
+// just gained its first cluster copy), with an O(T·C) argmin per round.
+func (s *Scheduler) planNaive(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	m := newMMState(st)
+	b, C := m.b, m.C
 
 	plan := &core.SubPlan{Node: make(map[batch.TaskID]int)}
 	unsched := append([]batch.TaskID(nil), pending...)
@@ -110,9 +189,9 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 		mct[idx] = make([]float64, C)
 		fit[idx] = make([]bool, C)
 		for i := 0; i < C; i++ {
-			e, extra := ect(k, i)
+			e, extra := m.ect(k, i)
 			mct[idx][i] = e
-			fit[idx][i] = extra <= free[i]
+			fit[idx][i] = extra <= m.free[i]
 		}
 	}
 	done := make([]bool, len(unsched))
@@ -138,32 +217,17 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 		k := unsched[bestIdx]
 		done[bestIdx] = true
 		remaining--
-		plan.Tasks = append(plan.Tasks, k)
-		plan.Node[k] = bestNode
+		var cands []journal.Candidate
 		if st.J.Enabled() {
-			cands := make([]journal.Candidate, C)
+			cands = make([]journal.Candidate, C)
 			for i := 0; i < C; i++ {
 				cands[i] = journal.Candidate{Node: i, Score: mct[bestIdx][i], Fits: fit[bestIdx][i]}
 			}
-			st.J.Emit(journal.Event{T: st.Clock, Kind: journal.KindPlace, Round: st.JRound,
-				Place: &journal.Place{Task: int(k), Node: bestNode, Policy: "minmin-mct",
-					Score: bestT, Candidates: cands,
-					Reason: "smallest minimum expected completion time among unscheduled tasks"}})
 		}
-		// Stage the task's files (implicit replication) and occupy the
-		// node.
-		e, extra := ect(k, bestNode)
-		ready[bestNode] = e
-		free[bestNode] -= extra
-		firstCopy := make(map[batch.FileID]bool)
-		for _, f := range b.Tasks[k].Files {
-			if !holds[bestNode][f] {
-				if !anyCopy[f] {
-					firstCopy[f] = true
-				}
-				holds[bestNode][f] = true
-				anyCopy[f] = true
-			}
+		staged, first := m.place(st, plan, k, bestNode, bestT, cands)
+		firstCopy := false
+		for _, fc := range first {
+			firstCopy = firstCopy || fc
 		}
 		// Refresh the changed node's column for everyone; tasks that
 		// share a file which just gained its first cluster copy see a
@@ -174,10 +238,16 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 				continue
 			}
 			full := false
-			for _, f := range b.Tasks[kk].Files {
-				if firstCopy[f] {
-					full = true
-					break
+			if firstCopy {
+				for _, f := range b.Tasks[kk].Files {
+					for si, sf := range staged {
+						if first[si] && sf == f {
+							full = true
+						}
+					}
+					if full {
+						break
+					}
 				}
 			}
 			lo, hi := bestNode, bestNode
@@ -185,9 +255,233 @@ func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.
 				lo, hi = 0, C-1
 			}
 			for i := lo; i <= hi; i++ {
-				ee, ex := ect(kk, i)
+				ee, ex := m.ect(kk, i)
 				mct[idx][i] = ee
-				fit[idx][i] = ex <= free[i]
+				fit[idx][i] = ex <= m.free[i]
+			}
+		}
+	}
+	if len(plan.Tasks) == 0 {
+		return nil, fmt.Errorf("minmin: no pending task fits any node (pending %d)", len(pending))
+	}
+	return plan, nil
+}
+
+// mmEntry is one task's cached best (completion, node) pair in the
+// incremental heap. key is a lower bound on the task's true minimum
+// completion time; it is exact when the entry is clean (not dirty) and
+// its node version matches. node is -1 when the task fits nowhere
+// (key +Inf).
+type mmEntry struct {
+	key   float64
+	node  int32
+	nver  int32
+	dirty bool
+	pos   int32 // heap position; -1 once committed
+}
+
+// mmHeap is an indexed min-heap over task indices ordered by
+// (key, index) — exactly the reference argmin's tie-break (first task
+// index achieving the strict minimum).
+type mmHeap struct {
+	entries []mmEntry
+	order   []int32
+}
+
+func (h *mmHeap) less(a, b int32) bool {
+	ea, eb := &h.entries[a], &h.entries[b]
+	if ea.key != eb.key {
+		return ea.key < eb.key
+	}
+	return a < b
+}
+
+func (h *mmHeap) swap(i, j int) {
+	h.order[i], h.order[j] = h.order[j], h.order[i]
+	h.entries[h.order[i]].pos = int32(i)
+	h.entries[h.order[j]].pos = int32(j)
+}
+
+func (h *mmHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.order[i], h.order[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *mmHeap) down(i int) {
+	n := len(h.order)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(h.order[l], h.order[small]) {
+			small = l
+		}
+		if r < n && h.less(h.order[r], h.order[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// fix restores heap order around task idx after its key changed.
+func (h *mmHeap) fix(idx int32) {
+	h.up(int(h.entries[idx].pos))
+	h.down(int(h.entries[idx].pos))
+}
+
+// popTop removes the root entry.
+func (h *mmHeap) popTop() {
+	idx := h.order[0]
+	last := len(h.order) - 1
+	h.swap(0, last)
+	h.order = h.order[:last]
+	h.entries[idx].pos = -1
+	if last > 0 {
+		h.down(0)
+	}
+}
+
+// planIncremental is the default implementation. Invariants (see
+// DESIGN.md §14): every live entry's key is a lower bound on the
+// task's true minimum completion time, and a clean entry with a fresh
+// node version is exact, so popping the smallest clean-fresh key
+// reproduces the reference argmin decision for decision.
+func (s *Scheduler) planIncremental(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	m := newMMState(st)
+	b, C := m.b, m.C
+
+	plan := &core.SubPlan{Node: make(map[batch.TaskID]int)}
+	unsched := append([]batch.TaskID(nil), pending...)
+
+	// Inverted file → pending-task index, for the eager share updates.
+	fileTasks := make([][]int32, b.NumFiles())
+	for idx, k := range unsched {
+		for _, f := range b.Tasks[k].Files {
+			fileTasks[f] = append(fileTasks[f], int32(idx))
+		}
+	}
+
+	// dropRate bounds, per newly replicable byte, how much any node's
+	// completion estimate can fall when a file's path switches from
+	// remote to replica (the anyCopy flip). Slightly inflated so the
+	// discounted key stays a lower bound despite summation rounding.
+	dropRate := 0.0
+	if !m.p.DisableReplication {
+		invRemoteMax := 0.0
+		for i := 0; i < C; i++ {
+			if inv := 1 / m.bwRemote[i]; inv > invRemoteMax {
+				invRemoteMax = inv
+			}
+		}
+		if d := invRemoteMax - 1/m.bwReplica; d > 0 {
+			dropRate = d * 1.000001
+		}
+	}
+
+	h := &mmHeap{entries: make([]mmEntry, len(unsched)), order: make([]int32, len(unsched))}
+	nodeVer := make([]int32, C)
+	recompute := func(idx int32) {
+		k := unsched[idx]
+		e := &h.entries[idx]
+		e.key, e.node = math.Inf(1), -1
+		for i := 0; i < C; i++ {
+			v, extra := m.ect(k, i)
+			if extra <= m.free[i] && v < e.key {
+				e.key, e.node = v, int32(i)
+			}
+		}
+		if e.node >= 0 {
+			e.nver = nodeVer[e.node]
+		}
+		e.dirty = false
+	}
+	for idx := range unsched {
+		recompute(int32(idx))
+		h.order[idx] = int32(idx)
+		h.entries[idx].pos = int32(idx)
+	}
+	for i := len(unsched)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+
+	eagerStamp := make([]int32, len(unsched))
+	for i := range eagerStamp {
+		eagerStamp[i] = -1
+	}
+	var commitSeq int32
+
+	for len(h.order) > 0 {
+		idx := h.order[0]
+		e := &h.entries[idx]
+		if e.dirty || (e.node >= 0 && e.nver != nodeVer[e.node]) {
+			recompute(idx)
+			h.down(0)
+			continue
+		}
+		if e.node < 0 {
+			break // nothing fits: close the sub-batch
+		}
+		k := unsched[idx]
+		bestNode, bestT := int(e.node), e.key
+		var cands []journal.Candidate
+		if st.J.Enabled() {
+			// The reference journals every candidate's score from its
+			// always-exact matrix; recomputing the row against the
+			// pre-commit state yields the same floats.
+			cands = make([]journal.Candidate, C)
+			for i := 0; i < C; i++ {
+				v, extra := m.ect(k, i)
+				cands[i] = journal.Candidate{Node: i, Score: v, Fits: extra <= m.free[i]}
+			}
+		}
+		h.popTop()
+		staged, first := m.place(st, plan, k, bestNode, bestT, cands)
+		nodeVer[bestNode]++
+		commitSeq++
+
+		// Eager updates: tasks sharing a newly staged file see their
+		// bestNode column drop; evaluating just that column keeps their
+		// entries exact (clean entries) or lower-bounded (dirty ones).
+		// A first cluster copy additionally cheapens every node's
+		// estimate for its sharers: discount their keys by the maximum
+		// possible drop and mark them dirty for exact recomputation at
+		// pop time.
+		for si, f := range staged {
+			var disc float64
+			if first[si] && dropRate > 0 {
+				disc = float64(b.FileSize(f))*dropRate + 1e-9
+			}
+			for _, oidx := range fileTasks[f] {
+				oe := &h.entries[oidx]
+				if oe.pos < 0 || oidx == idx {
+					continue
+				}
+				if eagerStamp[oidx] != commitSeq {
+					eagerStamp[oidx] = commitSeq
+					kk := unsched[oidx]
+					v, extra := m.ect(kk, bestNode)
+					if extra <= m.free[bestNode] &&
+						(v < oe.key || (v == oe.key && int32(bestNode) < oe.node) || oe.node < 0) {
+						oe.key, oe.node, oe.nver = v, int32(bestNode), nodeVer[bestNode]
+						h.fix(oidx)
+					}
+				}
+				if disc > 0 && !math.IsInf(oe.key, 1) {
+					oe.key -= disc
+					oe.dirty = true
+					h.fix(oidx)
+				} else if first[si] && !m.p.DisableReplication {
+					oe.dirty = true
+				}
 			}
 		}
 	}

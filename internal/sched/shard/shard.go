@@ -1,0 +1,207 @@
+// Package shard wraps any batch scheduler with component-sharded
+// planning: the pending tasks of a sub-batch are split into the
+// connected components of their file-sharing hypergraph (tasks are
+// vertices, files with two or more pending readers are nets), each
+// component is planned independently — concurrently, up to a worker
+// cap — against a shared read-only view of the cluster state, and the
+// per-component plans and journals are merged in component-index
+// order.
+//
+// Components share no file, so under unlimited disk their plans cannot
+// interact: the inner scheduler would make the same per-task decisions
+// on the full pending set as on its component alone (both MinMin's
+// ECT matrix and JDP's staging costs decompose over components, since
+// every cross-component term is absent). Under disk pressure that
+// independence breaks — per-component planners would each budget the
+// same free bytes — so sharding steps aside and delegates the whole
+// sub-batch to the inner scheduler unchanged.
+//
+// Determinism: components are ordered by their smallest pending-task
+// index (hypergraph.Components guarantees this), plans and journal
+// recorders merge strictly in that order, and the worker pool only
+// reorders wall-clock execution, never observable output. Journal
+// bytes are therefore identical at any Workers setting; the
+// equivalence tests pin this and the plan-level agreement with the
+// unsharded inner scheduler.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/obs/journal"
+)
+
+// Scheduler plans each file-sharing component of the pending set
+// independently with Inner, in parallel across Workers goroutines.
+type Scheduler struct {
+	Inner core.Scheduler
+	// Workers caps planning concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// New wraps inner with component sharding.
+func New(inner core.Scheduler, workers int) *Scheduler {
+	return &Scheduler{Inner: inner, Workers: workers}
+}
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return s.Inner.Name() + "+shard" }
+
+// Evict implements core.Scheduler by delegating: eviction is a global
+// disk-pressure decision and does not decompose over components.
+func (s *Scheduler) Evict(st *core.State, pending []batch.TaskID) {
+	s.Inner.Evict(st, pending)
+}
+
+// PlanSubBatch implements core.Scheduler.
+func (s *Scheduler) PlanSubBatch(st *core.State, pending []batch.TaskID) (*core.SubPlan, error) {
+	// Sharding is only sound when no disk budget couples the
+	// components (see the package comment): a finite disk anywhere
+	// means two independently planned components could each claim the
+	// same free bytes. Aggregate-fit (Problem.Unlimited) is not enough;
+	// every node must be individually unconstrained.
+	if !unconstrainedDisks(st.P) || len(pending) < 2 {
+		return s.Inner.PlanSubBatch(st, pending)
+	}
+	comps := components(st.P.Batch, pending)
+	if len(comps) < 2 {
+		return s.Inner.PlanSubBatch(st, pending)
+	}
+
+	plans := make([]*core.SubPlan, len(comps))
+	errs := make([]error, len(comps))
+	recs := make([]*journal.Recorder, len(comps))
+	journaled := st.J.Enabled()
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	plan := func(i int) {
+		var rec *journal.Recorder
+		if journaled {
+			rec = journal.New()
+			recs[i] = rec
+		}
+		plans[i], errs[i] = s.Inner.PlanSubBatch(st.PlanView(rec), comps[i])
+	}
+	if workers <= 1 {
+		for i := range comps {
+			plan(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(comps) {
+						return
+					}
+					plan(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge in component-index order: task order, node map, staging
+	// lists and journal events all concatenate deterministically.
+	merged := &core.SubPlan{Node: make(map[batch.TaskID]int)}
+	var firstErr error
+	for i, p := range plans {
+		if errs[i] != nil {
+			// A component that cannot place any task defers to a later
+			// sub-batch — unless every component is stuck.
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if journaled {
+			st.J.Merge(recs[i])
+		}
+		merged.Tasks = append(merged.Tasks, p.Tasks...)
+		// Copy node assignments via the plan's task list rather than by
+		// ranging p.Node, keeping the merge free of map iteration order.
+		for _, t := range p.Tasks {
+			merged.Node[t] = p.Node[t]
+		}
+		merged.Staging = append(merged.Staging, p.Staging...)
+		merged.PreStage = append(merged.PreStage, p.PreStage...)
+		merged.Pinned = merged.Pinned || p.Pinned
+	}
+	if len(merged.Tasks) == 0 {
+		if firstErr != nil {
+			return nil, fmt.Errorf("shard: every component failed to plan: %w", firstErr)
+		}
+		return nil, fmt.Errorf("shard: empty merged plan for %d components", len(comps))
+	}
+	return merged, nil
+}
+
+// unconstrainedDisks reports whether every compute node's disk is
+// unlimited, the precondition for independent per-component planning.
+func unconstrainedDisks(p *core.Problem) bool {
+	for _, c := range p.Platform.Compute {
+		if c.DiskSpace > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// components splits the pending tasks into connected components of the
+// file-sharing hypergraph, each listed in ascending pending order and
+// ordered among themselves by smallest member.
+func components(b *batch.Batch, pending []batch.TaskID) [][]batch.TaskID {
+	hb := hypergraph.NewBuilder()
+	for range pending {
+		hb.AddVertex(1)
+	}
+	// One net per file with >= 2 pending readers; single-reader files
+	// connect nothing. Nets are added in ascending file order so the
+	// hypergraph build itself is deterministic.
+	readers := make([][]int, b.NumFiles())
+	for i, t := range pending {
+		for _, f := range b.Tasks[t].Files {
+			readers[f] = append(readers[f], i)
+		}
+	}
+	for _, pins := range readers {
+		if len(pins) >= 2 {
+			hb.AddNet(1, pins)
+		}
+	}
+	h, err := hb.Build()
+	if err != nil {
+		// Cannot happen: vertices are 0..n-1 and task file lists hold
+		// no duplicates. Fall back to one component per task.
+		out := make([][]batch.TaskID, len(pending))
+		for i, t := range pending {
+			out[i] = []batch.TaskID{t}
+		}
+		return out
+	}
+	var out [][]batch.TaskID
+	for _, comp := range h.Components() {
+		tasks := make([]batch.TaskID, len(comp))
+		for i, v := range comp {
+			tasks[i] = pending[v]
+		}
+		out = append(out, tasks)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/obs/journal"
+	"repro/internal/platform"
+	"repro/internal/sched/jdp"
+	"repro/internal/sched/minmin"
+	"repro/internal/workload"
+)
+
+// multiComponentBatch builds `groups` independent file-sharing
+// clusters: tasks within a group share that group's files, and no file
+// crosses groups, so the sharding layer must find exactly `groups`
+// components.
+func multiComponentBatch(groups, tasksPer, sharedPer int) *batch.Batch {
+	b := batch.New()
+	for g := 0; g < groups; g++ {
+		shared := make([]batch.FileID, sharedPer)
+		for i := range shared {
+			shared[i] = b.AddFile("", int64(8+g)*platform.MB, g%2)
+		}
+		for t := 0; t < tasksPer; t++ {
+			priv := b.AddFile("", 4*platform.MB, g%2)
+			files := append([]batch.FileID{priv}, shared[t%sharedPer], shared[(t+1)%sharedPer])
+			b.AddTask("", 0.5+0.1*float64(t), files)
+		}
+	}
+	return b
+}
+
+func TestComponentsSplit(t *testing.T) {
+	b := multiComponentBatch(5, 6, 3)
+	comps := components(b, b.AllTasks())
+	if len(comps) != 5 {
+		t.Fatalf("got %d components, want 5", len(comps))
+	}
+	seen := map[batch.TaskID]bool{}
+	for ci, comp := range comps {
+		for i, k := range comp {
+			if seen[k] {
+				t.Fatalf("task %d appears in two components", k)
+			}
+			seen[k] = true
+			if i > 0 && comp[i-1] >= k {
+				t.Fatalf("component %d not in ascending task order", ci)
+			}
+		}
+		if ci > 0 && comps[ci-1][0] >= comp[0] {
+			t.Fatal("components not ordered by smallest member")
+		}
+	}
+	if len(seen) != b.NumTasks() {
+		t.Fatalf("components cover %d of %d tasks", len(seen), b.NumTasks())
+	}
+}
+
+// runSharded executes a full pipeline under the sharded scheduler and
+// returns the journal bytes and result.
+func runSharded(t *testing.T, inner core.Scheduler, workers int, b *batch.Batch, disk int64) ([]byte, *core.Result) {
+	t.Helper()
+	p := &core.Problem{Batch: b, Platform: platform.XIO(6, 2, disk)}
+	rec := journal.New()
+	res, err := core.RunWith(p, New(inner, workers), core.RunOptions{Checked: true, Obs: core.Observer{Journal: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestWorkerInvariance is the tentpole determinism contract: journal
+// bytes and results must be identical at any worker count, because
+// per-component journals merge in component-index order.
+func TestWorkerInvariance(t *testing.T) {
+	b := multiComponentBatch(7, 5, 2)
+	for _, inner := range []core.Scheduler{minmin.New(), jdp.New()} {
+		refJ, refR := runSharded(t, inner, 1, b, 0)
+		for _, w := range []int{2, 4, 8} {
+			gotJ, gotR := runSharded(t, inner, w, b, 0)
+			if !bytes.Equal(refJ, gotJ) {
+				t.Fatalf("%s: journal bytes differ between workers=1 and workers=%d", inner.Name(), w)
+			}
+			if refR.Makespan != gotR.Makespan || refR.SubBatches != gotR.SubBatches {
+				t.Fatalf("%s: results differ between workers=1 and workers=%d", inner.Name(), w)
+			}
+		}
+	}
+}
+
+// TestShardCoversAllTasks checks the merged plan executes the whole
+// batch under unlimited disk (Checked mode validates the schedule).
+func TestShardCoversAllTasks(t *testing.T) {
+	b := multiComponentBatch(4, 8, 3)
+	_, res := runSharded(t, minmin.New(), 4, b, 0)
+	if res.TaskCount != b.NumTasks() {
+		t.Fatalf("ran %d of %d tasks", res.TaskCount, b.NumTasks())
+	}
+	if res.SubBatches != 1 {
+		t.Fatalf("unlimited disk should need 1 sub-batch, got %d", res.SubBatches)
+	}
+}
+
+// TestShardFallsBackUnderDiskPressure pins the delegation rule: when
+// the problem is disk-limited, sharded planning must be byte-identical
+// to the inner scheduler alone (the wrapper steps aside entirely).
+func TestShardFallsBackUnderDiskPressure(t *testing.T) {
+	b := workload.Random(3, 40, 30, 4, 2, 12*platform.MB, platform.PaperComputeFactor)
+	disk := int64(90) * platform.MB
+	shardJ, shardR := runSharded(t, minmin.New(), 4, b, disk)
+
+	p := &core.Problem{Batch: b, Platform: platform.XIO(6, 2, disk)}
+	rec := journal.New()
+	res, err := core.RunWith(p, minmin.New(), core.RunOptions{Checked: true, Obs: core.Observer{Journal: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The wrapper contributes only its name to run/plan metadata; after
+	// normalizing it, every decision byte must match.
+	norm := bytes.ReplaceAll(shardJ, []byte(`"MinMin+shard"`), []byte(`"MinMin"`))
+	if !bytes.Equal(norm, buf.Bytes()) {
+		t.Fatal("disk-limited sharded run is not byte-identical to the inner scheduler")
+	}
+	if shardR.Makespan != res.Makespan {
+		t.Fatal("disk-limited sharded makespan differs from inner scheduler")
+	}
+}

@@ -141,12 +141,51 @@ type Result struct {
 
 // Solve optimizes the LP.
 func Solve(lp *LP, opt Options) (*Result, error) {
+	return SolveWS(new(Workspace), lp, opt)
+}
+
+// Workspace caches every per-solve allocation of the solver — the
+// bound/cost/column shadow arrays, basis bookkeeping, dense scratch
+// vectors and the solution buffer — so repeated solves (branch-and-
+// bound explores thousands of nodes against the same matrix) reuse
+// memory instead of churning the heap. A Workspace may be reused
+// across LPs of any size; it grows monotonically. It is not safe for
+// concurrent use: give each solving goroutine its own.
+type Workspace struct {
+	cost, lower, upper []float64
+	cols               [][]Entry
+	state              []varState
+	basic, inRow       []int32
+	xB, w, y           []float64
+	phase1             []float64
+	x                  []float64
+}
+
+// SolveWS optimizes the LP reusing ws's buffers. Unlike Solve, the
+// returned Result.X aliases workspace memory: it is valid only until
+// the next SolveWS call with the same workspace and must be copied by
+// callers that keep it.
+func SolveWS(ws *Workspace, lp *LP, opt Options) (*Result, error) {
 	if err := lp.Validate(); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(lp.NumRows)
-	s := newSolver(lp, opt)
+	s := newSolver(ws, lp, opt)
 	return s.solve(), nil
+}
+
+func growF(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growI(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
 }
 
 // varState tracks where a column currently lives.
@@ -192,31 +231,56 @@ type solver struct {
 	w  []float64
 	y  []float64
 	wN []int32 // nonzero pattern scratch
+
+	// ws owns every slice above plus the phase-1 cost and solution
+	// buffers; the solver itself is rebuilt per solve.
+	ws *Workspace
 }
 
-func newSolver(lp *LP, opt Options) *solver {
+func newSolver(ws *Workspace, lp *LP, opt Options) *solver {
 	m := lp.NumRows
 	n := lp.NumCols()
-	s := &solver{lp: lp, opt: opt, m: m}
+	s := &solver{lp: lp, opt: opt, m: m, ws: ws}
 	total := n + m // reserve artificials
-	s.cost = make([]float64, total)
-	s.lower = make([]float64, total)
-	s.upper = make([]float64, total)
-	s.cols = make([][]Entry, total)
+	// Every slice comes from the workspace; entries a previous solve
+	// left behind are either overwritten below (structural columns),
+	// by start() (artificial columns, basis arrays, xB), or
+	// immediately before each use (w, y) — only inRow needs an
+	// explicit full reset.
+	ws.cost = growF(ws.cost, total)
+	ws.lower = growF(ws.lower, total)
+	ws.upper = growF(ws.upper, total)
+	if cap(ws.cols) < total {
+		ws.cols = make([][]Entry, total)
+	}
+	ws.cols = ws.cols[:total]
+	s.cost = ws.cost
+	s.lower = ws.lower
+	s.upper = ws.upper
+	s.cols = ws.cols
 	copy(s.cost, lp.Cost)
 	copy(s.lower, lp.Lower)
 	copy(s.upper, lp.Upper)
 	copy(s.cols, lp.Cols)
 	s.n = n
-	s.state = make([]varState, total)
-	s.basic = make([]int32, m)
-	s.inRow = make([]int32, total)
+	if cap(ws.state) < total {
+		ws.state = make([]varState, total)
+	}
+	ws.state = ws.state[:total]
+	s.state = ws.state
+	ws.basic = growI(ws.basic, m)
+	ws.inRow = growI(ws.inRow, total)
+	s.basic = ws.basic
+	s.inRow = ws.inRow
 	for j := range s.inRow {
 		s.inRow[j] = -1
 	}
-	s.xB = make([]float64, m)
-	s.w = make([]float64, m)
-	s.y = make([]float64, m)
+	ws.xB = growF(ws.xB, m)
+	ws.w = growF(ws.w, m)
+	ws.y = growF(ws.y, m)
+	s.xB = ws.xB
+	s.w = ws.w
+	s.y = ws.y
 	return s
 }
 
@@ -294,7 +358,14 @@ func (s *solver) solve() *Result {
 	s.start()
 	// Phase 1: minimize the sum of artificial magnitudes (+a for
 	// artificials bounded below by 0, −a for those bounded above by 0).
-	phase1Cost := make([]float64, s.n)
+	// The buffer is workspace-owned: zero the structural prefix a
+	// previous solve may have dirtied (the artificial tail is fully
+	// written just below).
+	s.ws.phase1 = growF(s.ws.phase1, s.n)
+	phase1Cost := s.ws.phase1
+	for j := 0; j < s.lp.NumCols(); j++ {
+		phase1Cost[j] = 0
+	}
 	for r := 0; r < s.m; r++ {
 		j := s.lp.NumCols() + r
 		if math.IsInf(s.lower[j], -1) {
@@ -363,7 +434,11 @@ func (s *solver) structuralObjective() float64 {
 }
 
 func (s *solver) extractX() []float64 {
-	x := make([]float64, s.lp.NumCols())
+	// Workspace-owned: every structural entry is written below (a
+	// column is either nonbasic — first loop — or basic — second), so
+	// stale contents never leak.
+	s.ws.x = growF(s.ws.x, s.lp.NumCols())
+	x := s.ws.x
 	for j := range x {
 		if s.state[j] != inBasis {
 			x[j] = s.valueAtBound(j)
